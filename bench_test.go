@@ -1,0 +1,183 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation
+// section. Every benchmark runs the corresponding experiment harness at a
+// scaled-down configuration (the same harness `rasengan-bench` exposes;
+// pass -full there for paper-scale runs) and reports the headline number
+// as a custom metric so `go test -bench` output doubles as a reproduction
+// log.
+package rasengan
+
+import (
+	"testing"
+
+	"rasengan/internal/experiments"
+)
+
+// benchConfig is the scaled-down configuration shared by the benchmark
+// harnesses: one case per benchmark, a small optimizer budget, sampled
+// execution, and a dense-simulation cap that keeps the widest baselines
+// affordable in CI.
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		Cases:          1,
+		MaxIter:        30,
+		Layers:         3,
+		Trajectories:   4,
+		MaxDenseQubits: 12,
+		Seed:           7,
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Err == nil && row.Method == "rasengan" {
+				b.ReportMetric(row.ARG, "rasengan-ARG")
+			}
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ARGImprovement["choco-q"], "ARG-improv-vs-chocoq")
+		b.ReportMetric(res.DepthImprovement["choco-q"], "depth-improv-vs-chocoq")
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(benchConfig(), 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.RasenganARG, "rasengan-ARG")
+		b.ReportMetric(float64(res.Points[len(res.Points)-1].ChocoDepth), "chocoq-depth@max-layers")
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(benchConfig(), 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(float64(last.NumVars), "max-vars")
+		b.ReportMetric(last.NoiseFreeARG, "ARG@max-vars")
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c := res.Cells["ibm-kyiv"]["rasengan"]; c != nil {
+			b.ReportMetric(c.ARG.Mean, "kyiv-rasengan-ARG")
+			b.ReportMetric(c.InRate.Mean, "kyiv-rasengan-inrate")
+		}
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig12(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Err == nil && row.Algorithm == "rasengan" {
+				b.ReportMetric(row.Latency.TotalMS(), "rasengan-latency-ms")
+			}
+		}
+	}
+}
+
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig13(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		if last.Err == nil {
+			b.ReportMetric(float64(last.TotalShots), "shots@max-segments")
+		}
+	}
+}
+
+func BenchmarkFig14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig14(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.PauliSweep[0].ARG.Mean, "ARG@1e-4")
+		b.ReportMetric(res.PauliSweep[len(res.PauliSweep)-1].ARG.Mean, "ARG@1e-3")
+	}
+}
+
+func BenchmarkFig15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig15(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.AvgReduction2, "opt2-depth-reduction-pct")
+		b.ReportMetric(100*res.AvgReduction3, "opt3-depth-reduction-pct")
+	}
+}
+
+func BenchmarkFig16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig16(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c := res.Cells["ibm-kyiv"]["+opt3"]; c != nil {
+			b.ReportMetric(c.InRate.Mean, "kyiv-full-inrate")
+		}
+	}
+}
+
+func BenchmarkFig17(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig17(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		best := 0.0
+		for _, p := range res.Points {
+			if p.Speedup > best {
+				best = p.Speedup
+			}
+		}
+		b.ReportMetric(best, "best-pruning-speedup")
+	}
+}
+
+// BenchmarkAblation exercises the implementation-choice ablation of
+// DESIGN.md §3 (multi-start, optimizer family, depth budget, trajectory
+// count).
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Ablation(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res.Rows {
+			if r.Study == "multi-start" && r.Variant == "3 starts (default)" {
+				b.ReportMetric(r.ARG.Mean, "multistart-ARG")
+			}
+		}
+	}
+}

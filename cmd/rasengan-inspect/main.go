@@ -1,0 +1,134 @@
+// Command rasengan-inspect dumps the offline pipeline of one instance —
+// constraints, homogeneous basis, schedule, coverage, segmentation, and
+// (optionally) the compiled transition circuits — without running the
+// variational loop. It is the debugging companion to rasengan-solve.
+//
+// Usage:
+//
+//	rasengan-inspect -bench G3
+//	rasengan-inspect -bench F2 -circuits -qasm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"rasengan"
+	"rasengan/internal/core"
+	"rasengan/internal/problems"
+	"rasengan/internal/quantum"
+	"rasengan/internal/transpile"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rasengan-inspect: ")
+
+	var (
+		bench     = flag.String("bench", "F1", "benchmark label (F1..G4)")
+		caseIdx   = flag.Int("case", 0, "case index")
+		circuits  = flag.Bool("circuits", false, "draw every scheduled transition circuit")
+		emitQASM  = flag.Bool("qasm", false, "print every scheduled transition circuit as OpenQASM")
+		maxShow   = flag.Int("max", 5, "cap on vectors/circuits printed")
+		saveSched = flag.String("save-schedule", "", "write the pruned schedule as JSON to this path")
+		dumpProb  = flag.String("dump-problem", "", "write the instance as JSON to this path")
+	)
+	flag.Parse()
+
+	b, err := problems.ByLabel(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := b.Generate(*caseIdx)
+
+	fmt.Printf("problem %s: %d variables, %d constraints, objective %s\n",
+		p.Name, p.N, p.NumConstraints(), p.Sense)
+	fmt.Printf("seed solution: %s (f = %g)\n", p.Init, p.Objective(p.Init))
+	topo := problems.ConstraintTopology(p)
+	fmt.Printf("constraint topology: avg degree %.2f, max degree %d, max row span %d, %d component(s)\n\n",
+		topo.AverageDegree, topo.MaxDegree, topo.MaxRowSpan, topo.Components)
+
+	basis, err := core.BuildBasis(p, core.BasisOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("homogeneous basis: kernel dim m = %d, pool size %d, TU heuristic %v\n",
+		basis.M, len(basis.Vectors), basis.TU)
+	if basis.UsedTernarySearch {
+		fmt.Println("  (rational basis left {-1,0,1}^n — ternary kernel search ran)")
+	}
+	if basis.SimplifySaved > 0 {
+		fmt.Printf("  Algorithm 1 removed %d nonzero entries\n", basis.SimplifySaved)
+	}
+	for i, u := range basis.Vectors {
+		if i >= *maxShow {
+			fmt.Printf("  ... (%d more)\n", len(basis.Vectors)-*maxShow)
+			break
+		}
+		fmt.Printf("  u%-2d nnz=%-2d %v\n", i+1, core.NonZero(u), u)
+	}
+
+	sched := core.BuildSchedule(p, basis, core.ScheduleOptions{})
+	fmt.Printf("\nschedule: %d operators kept of %d scheduled (%d pruned, early stop %v)\n",
+		len(sched.Ops), len(sched.AllOps), sched.PrunedCount, sched.EarlyStopped)
+	fmt.Printf("reachable feasible states: %d\n", len(sched.Reachable))
+	if rep, err := core.VerifyCoverage(p, core.BasisOptions{}); err == nil {
+		if rep.Total >= 0 {
+			fmt.Printf("coverage: %d / %d (complete: %v)\n", rep.Reached, rep.Total, rep.Complete)
+		} else {
+			fmt.Printf("coverage: %d reached (instance too wide for exhaustive total)\n", rep.Reached)
+		}
+	}
+
+	exec, err := core.NewExecutor(p, sched.Ops, core.ExecOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsegmentation: %d segments, deepest compiled depth %d, total CX %d\n",
+		exec.NumSegments(), exec.MaxSegmentDepth(), exec.TotalCX)
+	for i, d := range exec.SegmentDepths {
+		fmt.Printf("  segment %d: depth %d\n", i+1, d)
+	}
+
+	if *saveSched != "" {
+		data, err := core.MarshalSchedule(p, sched)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*saveSched, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote schedule to %s (%d bytes)\n", *saveSched, len(data))
+	}
+	if *dumpProb != "" {
+		data, err := problems.ToJSON(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*dumpProb, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote instance to %s (%d bytes)\n", *dumpProb, len(data))
+	}
+
+	if *circuits || *emitQASM {
+		for i, op := range sched.Ops {
+			if i >= *maxShow {
+				fmt.Printf("\n... (%d more operators)\n", len(sched.Ops)-*maxShow)
+				break
+			}
+			circ := op.OperatorCircuit(p.N, 0.785)
+			dec := transpile.Decompose(circ)
+			fmt.Printf("\nτ%d over u=%v  (compiled: %d gates, %d CX, depth %d)\n",
+				i+1, op.U, len(dec.Gates), dec.CountKind(quantum.GateCX), dec.Depth())
+			if *circuits {
+				fmt.Print(rasengan.DrawCircuit(circ))
+			}
+			if *emitQASM {
+				fmt.Print(rasengan.ExportQASM(circ))
+			}
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Command rasengan-solve runs the full Rasengan pipeline on one benchmark
+// instance and prints the solution, quality, and circuit metrics.
+//
+// Usage:
+//
+//	rasengan-solve -bench F2 -case 0 -iters 150
+//	rasengan-solve -bench G3 -device kyiv -shots 1024
+//	rasengan-solve -family FLP -demands 4 -facilities 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"rasengan"
+	"rasengan/internal/device"
+	"rasengan/internal/problems"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rasengan-solve: ")
+
+	var (
+		bench      = flag.String("bench", "", "benchmark label (F1..G4); overrides -family")
+		probFile   = flag.String("problem", "", "solve an instance from a JSON file (see rasengan-inspect -dump-problem)")
+		caseIdx    = flag.Int("case", 0, "case index within the benchmark")
+		family     = flag.String("family", "FLP", "problem family for custom sizes (FLP only)")
+		demands    = flag.Int("demands", 2, "FLP demands (with -family FLP)")
+		facilities = flag.Int("facilities", 2, "FLP facilities (with -family FLP)")
+		seed       = flag.Int64("seed", 1, "generator and solver seed")
+		iters      = flag.Int("iters", 150, "optimizer iteration budget")
+		shots      = flag.Int("shots", 0, "shots per segment (0 = exact noise-free)")
+		devName    = flag.String("device", "", "device model: kyiv, brisbane, quebec (empty = ideal)")
+		verbose    = flag.Bool("v", false, "print the full output distribution")
+		draw       = flag.Bool("draw", false, "draw the first transition-operator circuit")
+		emitQASM   = flag.Bool("qasm", false, "print the first transition-operator circuit as OpenQASM 2.0")
+	)
+	flag.Parse()
+
+	var p *rasengan.Problem
+	switch {
+	case *probFile != "":
+		data, err := os.ReadFile(*probFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err = rasengan.ProblemFromJSON(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *bench != "":
+		b, err := problems.ByLabel(*bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p = b.Generate(*caseIdx)
+	case *family == "FLP":
+		p = rasengan.NewFacilityLocation(rasengan.FLPConfig{Demands: *demands, Facilities: *facilities}, *seed)
+	default:
+		log.Fatalf("custom sizes are supported for -family FLP; use -bench for %s", *family)
+	}
+
+	opts := rasengan.SolveOptions{MaxIter: *iters, Seed: *seed}
+	opts.Exec.Shots = *shots
+	if *devName != "" {
+		dev, err := device.ByName(*devName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Exec.Device = dev
+		if opts.Exec.Shots == 0 {
+			opts.Exec.Shots = 1024
+		}
+	}
+
+	res, err := rasengan.Solve(p, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("problem:        %s (%d variables, %d constraints)\n", p.Name, p.N, p.NumConstraints())
+	fmt.Printf("best solution:  %s\n", res.BestSolution)
+	fmt.Printf("best value:     %g (%s)\n", res.BestValue, p.Sense)
+	fmt.Printf("expectation:    %g\n", res.Expectation)
+	if p.N <= 24 {
+		if ref, err := rasengan.ExactReference(p); err == nil {
+			fmt.Printf("optimum:        %g   ARG: %.4f\n", ref.Opt, rasengan.ARG(ref.Opt, res.Expectation))
+		}
+	}
+	fmt.Printf("in-constraints: %.1f%%\n", 100*res.InConstraintsRate)
+	fmt.Printf("segments:       %d (deepest compiled depth %d)\n", res.NumSegments, res.SegmentDepth)
+	fmt.Printf("parameters:     %d transition times\n", res.NumParams)
+	fmt.Printf("latency model:  quantum %.1f ms, classical %.1f ms, compile %.1f ms\n",
+		res.Latency.QuantumMS, res.Latency.ClassicalMS, res.Latency.CompileMS)
+
+	if (*draw || *emitQASM) && len(res.Schedule.Ops) > 0 {
+		circ, err := rasengan.TransitionCircuit(res.Schedule.Ops[0].U, p.N, res.Times[0])
+		if err == nil {
+			if *draw {
+				fmt.Println("\nfirst transition operator τ(u₁, t₁):")
+				fmt.Print(rasengan.DrawCircuit(circ))
+			}
+			if *emitQASM {
+				fmt.Println("\nOpenQASM 2.0 of τ(u₁, t₁):")
+				fmt.Print(rasengan.ExportQASM(circ))
+			}
+		}
+	}
+
+	if *verbose {
+		fmt.Println("\ndistribution:")
+		type kv struct {
+			s string
+			p float64
+			v float64
+		}
+		var rows []kv
+		for x, pr := range res.Distribution {
+			rows = append(rows, kv{x.String(), pr, p.Objective(x)})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].p > rows[j].p })
+		for _, r := range rows {
+			fmt.Printf("  %s  p=%.4f  f=%g\n", r.s, r.p, r.v)
+		}
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,68 @@
+// Graph coloring with non-trivial basis recovery: triangle coloring is
+// the case where the rational nullspace basis falls outside {-1,0,1}^n
+// and the ternary circuit search must recover compound recolor/swap
+// moves. The example also contrasts purification on and off under device
+// noise — the paper's error-mitigation headline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rasengan"
+)
+
+func main() {
+	// A triangle with three colors: the six proper colorings are only
+	// connected through compound color-swap moves.
+	p := rasengan.NewGraphColoring(rasengan.GCPConfig{Vertices: 3, K: 3, Edges: 3}, 13)
+	ref, err := rasengan.ExactReference(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("problem: %s (%d variables, %d feasible colorings)\n\n", p.Name, p.N, ref.NumFeasible)
+
+	// Noise-free solve.
+	ideal, err := rasengan.Solve(p, rasengan.SolveOptions{MaxIter: 150, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("noise-free:   ARG %.3f, basis recovered %d transition vectors",
+		rasengan.ARG(ref.Opt, ideal.Expectation), len(ideal.Basis.Vectors))
+	if ideal.Basis.UsedTernarySearch {
+		fmt.Print(" (via ternary kernel search)")
+	}
+	fmt.Println()
+
+	// Noisy solves with and without purification.
+	for _, purify := range []bool{true, false} {
+		opts := rasengan.SolveOptions{MaxIter: 40, Seed: 4}
+		opts.Exec = rasengan.ExecOptions{
+			Shots:         1024,
+			Device:        rasengan.DeviceBrisbane(),
+			Trajectories:  8,
+			DisablePurify: !purify,
+		}
+		res, err := rasengan.Solve(p, opts)
+		label := "with purification"
+		if !purify {
+			label = "no purification  "
+		}
+		if err != nil {
+			fmt.Printf("%s: failed (%v)\n", label, err)
+			continue
+		}
+		fmt.Printf("%s: ARG %.3f, in-constraints %.1f%%\n",
+			label, rasengan.ARG(ref.Opt, res.Expectation), 100*res.InConstraintsRate)
+	}
+
+	fmt.Println("\ncoloring of the best solution:")
+	V, K := p.Meta["vertices"], p.Meta["k"]
+	for v := 0; v < V; v++ {
+		for c := 0; c < K; c++ {
+			if ideal.BestSolution.Bit(v*K + c) {
+				fmt.Printf("  vertex %d -> color %d\n", v, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Facility location walk-through: the workload that motivates the
+// paper's scalability study. Solves growing instances with Rasengan and
+// the Choco-Q baseline and reports quality, circuit depth, and where the
+// baseline's circuits stop being NISQ-deployable.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rasengan"
+)
+
+func main() {
+	sizes := []rasengan.FLPConfig{
+		{Demands: 1, Facilities: 2}, // 6 variables
+		{Demands: 2, Facilities: 2}, // 10
+		{Demands: 2, Facilities: 3}, // 15
+		{Demands: 3, Facilities: 3}, // 21
+	}
+	fmt.Println("size     vars  opt    rasengan(ARG, depth)   choco-q(ARG, depth)")
+	for i, cfg := range sizes {
+		p := rasengan.NewFacilityLocation(cfg, int64(40+i))
+		ref, err := rasengan.ExactReference(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		res, err := rasengan.Solve(p, rasengan.SolveOptions{MaxIter: 150, Seed: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		cq, err := rasengan.SolveChocoQ(p, rasengan.BaselineOptions{Layers: 5, MaxIter: 80, Seed: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("d=%d f=%d  %3d  %5g   ARG %.3f depth %4d     ARG %.3f depth %5d\n",
+			cfg.Demands, cfg.Facilities, p.N, ref.Opt,
+			rasengan.ARG(ref.Opt, res.Expectation), res.SegmentDepth,
+			rasengan.ARG(ref.Opt, cq.Expectation), cq.Depth)
+	}
+
+	fmt.Println("\nRasengan's per-segment depth stays flat while Choco-Q's full")
+	fmt.Println("mixer circuit grows with the feasible space — the deployability")
+	fmt.Println("gap the paper's Figure 10 measures out to 105 variables.")
+}

@@ -1,0 +1,76 @@
+// Interop: export a solved instance's transition circuits as OpenQASM 2.0
+// files (for Qiskit-side inspection) and persist the pruned schedule as
+// JSON so a later process can skip the offline compile stage — the
+// paper's "one-shot pruning reused during VQA training" made durable.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"rasengan"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "rasengan-interop-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	p := rasengan.NewSetCover(rasengan.SCPConfig{Sets: 5, Elements: 4}, 31)
+	res, err := rasengan.Solve(p, rasengan.SolveOptions{MaxIter: 120, Seed: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solved %s: best %g over %d transition operators\n\n",
+		p.Name, res.BestValue, res.NumParams)
+
+	// 1. QASM export of every tuned transition circuit.
+	for i, op := range res.Schedule.Ops {
+		circ, err := rasengan.TransitionCircuit(op.U, p.N, res.Times[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("tau_%02d.qasm", i+1))
+		if err := os.WriteFile(path, []byte(rasengan.ExportQASM(circ)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d gates)\n", filepath.Base(path), len(circ.Gates))
+	}
+
+	// 2. Round-trip one back in and confirm it parses identically.
+	data, err := os.ReadFile(filepath.Join(dir, "tau_01.qasm"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	parsed, err := rasengan.ParseQASM(string(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nre-parsed tau_01.qasm: %d gates on %d qubits\n", len(parsed.Gates), parsed.NumQubits)
+
+	// 3. Persist the pruned schedule and restore it with validation.
+	blob, err := rasengan.MarshalSchedule(p, res.Schedule)
+	if err != nil {
+		log.Fatal(err)
+	}
+	schedPath := filepath.Join(dir, "schedule.json")
+	if err := os.WriteFile(schedPath, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	restored, err := rasengan.UnmarshalSchedule(p, blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("schedule.json: %d bytes, restored %d operators (fingerprint-checked)\n",
+		len(blob), len(restored.Ops))
+
+	// A different instance must refuse the stored schedule.
+	other := rasengan.NewSetCover(rasengan.SCPConfig{Sets: 6, Elements: 4}, 32)
+	if _, err := rasengan.UnmarshalSchedule(other, blob); err != nil {
+		fmt.Printf("reuse on a different instance correctly rejected: %v\n", err)
+	}
+}

@@ -1,0 +1,55 @@
+// Large-scale: the paper's headline scalability claim — a 105-variable
+// facility location problem, far beyond dense statevector simulation
+// (2^105 amplitudes), solved through the sparse feasible-subspace
+// simulator with shot-sampled segmented execution.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rasengan"
+	"rasengan/internal/problems"
+)
+
+func main() {
+	// 17 demands × 3 facilities: 3 + 51 + 51 = 105 binary variables.
+	p := rasengan.NewFacilityLocation(rasengan.FLPConfig{Demands: 17, Facilities: 3}, 77)
+	fmt.Printf("problem: %s — %d variables, %d constraints\n", p.Name, p.N, p.NumConstraints())
+	fmt.Println("(a dense statevector would need 2^105 amplitudes; the sparse")
+	fmt.Println(" simulator tracks only the feasible states shots actually reach)")
+
+	// The exact optimum via facility-subset enumeration (polynomial in
+	// demands, exponential only in the 3 facilities).
+	ref, err := problems.FLPReference(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := rasengan.SolveOptions{
+		MaxIter: 60,
+		Seed:    5,
+		Schedule: rasengan.ScheduleOptions{
+			MaxTrackedStates: 5000, // cap the classical dry-run bookkeeping
+			SparsestFirst:    true, // admit deep operators only when necessary
+		},
+	}
+	opts.Exec.Shots = 1024
+
+	start := time.Now()
+	res, err := rasengan.Solve(p, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("\nschedule:   %d transition operators in %d segments (deepest %d)\n",
+		res.NumParams, res.NumSegments, res.SegmentDepth)
+	fmt.Printf("best found: %g   exact optimum: %g   ARG(expectation): %.3f\n",
+		res.BestValue, ref.Opt, rasengan.ARG(ref.Opt, res.Expectation))
+	fmt.Printf("wall time:  %.1fs on the classical simulator\n", elapsed.Seconds())
+	fmt.Println("\nEvery per-segment circuit stays at single-operator depth, which is")
+	fmt.Println("how the paper runs 105-variable instances on devices whose usable")
+	fmt.Println("depth is ~100 (Figure 10).")
+}

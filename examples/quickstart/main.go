@@ -1,0 +1,35 @@
+// Quickstart: solve a small facility location problem with Rasengan and
+// compare against the exact optimum.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rasengan"
+)
+
+func main() {
+	// Two demands, two candidate facilities: 10 binary variables after
+	// slack conversion (2 open bits + 4 assignment bits + 4 slack bits).
+	p := rasengan.NewFacilityLocation(rasengan.FLPConfig{Demands: 2, Facilities: 2}, 7)
+	fmt.Printf("problem: %s with %d variables, %d constraints\n", p.Name, p.N, p.NumConstraints())
+
+	// Solve with every optimization of the paper enabled (simplify, prune,
+	// segment, purify) on the exact noise-free simulator.
+	res, err := rasengan.Solve(p, rasengan.SolveOptions{MaxIter: 150, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ref, err := rasengan.ExactReference(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("best solution:    %s (objective %g)\n", res.BestSolution, res.BestValue)
+	fmt.Printf("exact optimum:    %s (objective %g)\n", ref.OptSolution, ref.Opt)
+	fmt.Printf("ARG:              %.4f\n", rasengan.ARG(ref.Opt, res.Expectation))
+	fmt.Printf("segments:         %d, deepest compiled depth %d\n", res.NumSegments, res.SegmentDepth)
+	fmt.Printf("transition times: %d tunable parameters\n", res.NumParams)
+}

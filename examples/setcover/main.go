@@ -1,0 +1,55 @@
+// Set covering with the optimization ladder: runs the same instance with
+// the paper's three circuit optimizations enabled cumulatively and shows
+// their effect on executable depth and parameter count — a miniature of
+// the Figure 15/16 ablation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rasengan"
+)
+
+func main() {
+	p := rasengan.NewSetCover(rasengan.SCPConfig{Sets: 5, Elements: 4, MaxDegree: 2}, 21)
+	ref, err := rasengan.ExactReference(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("problem: %s (%d variables, optimum %g, %d feasible solutions)\n\n",
+		p.Name, p.N, ref.Opt, ref.NumFeasible)
+
+	type variant struct {
+		name                     string
+		simplify, prune, segment bool
+	}
+	ladder := []variant{
+		{"no optimizations", false, false, false},
+		{"+ simplification (Alg. 1)", true, false, false},
+		{"+ pruning & early stop", true, true, false},
+		{"+ segmented execution", true, true, true},
+	}
+	fmt.Println("configuration                 depth  params  segments  ARG")
+	for _, v := range ladder {
+		opts := rasengan.SolveOptions{
+			MaxIter:  120,
+			Seed:     3,
+			Basis:    rasengan.BasisOptions{DisableSimplify: !v.simplify},
+			Schedule: rasengan.ScheduleOptions{DisablePrune: !v.prune},
+		}
+		opts.Exec.DisableSegmentation = !v.segment
+		res, err := rasengan.Solve(p, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-29s %5d  %6d  %8d  %.3f\n",
+			v.name, res.SegmentDepth, res.NumParams, res.NumSegments,
+			rasengan.ARG(ref.Opt, res.Expectation))
+	}
+
+	fmt.Println("\nEach optimization shrinks the executable circuit: simplification")
+	fmt.Println("rewrites the homogeneous basis with fewer nonzeros, pruning drops")
+	fmt.Println("transition operators that expand nothing, and segmentation caps")
+	fmt.Println("the per-execution depth at a single-operator scale.")
+}

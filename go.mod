@@ -1,0 +1,3 @@
+module rasengan
+
+go 1.22

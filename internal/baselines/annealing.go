@@ -1,0 +1,54 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"rasengan/internal/bitvec"
+	"rasengan/internal/problems"
+)
+
+// SimulatedAnnealing is the classical reference solver: single-spin-flip
+// Metropolis annealing on the penalized objective. It gives the
+// experiments a CPU-only quality/latency anchor (the role classical
+// heuristics play in the paper's framing of the NP-hard problem class).
+func SimulatedAnnealing(p *problems.Problem, sweeps int, opts Options) *Result {
+	opts = opts.withDefaults()
+	if sweeps <= 0 {
+		sweeps = 200
+	}
+	lambda := opts.PenaltyLambda
+	if lambda <= 0 {
+		lambda = autoLambda(p)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 101))
+	start := time.Now()
+
+	cur := p.Init
+	curVal := penalizedScore(p, lambda, cur)
+	best, bestVal := cur, curVal
+
+	tHot, tCold := lambda, 0.01
+	steps := sweeps * p.N
+	for step := 0; step < steps; step++ {
+		frac := float64(step) / float64(steps)
+		temp := tHot * math.Pow(tCold/tHot, frac)
+		i := rng.Intn(p.N)
+		cand := cur
+		cand.Flip(i)
+		candVal := penalizedScore(p, lambda, cand)
+		if candVal <= curVal || rng.Float64() < math.Exp((curVal-candVal)/temp) {
+			cur, curVal = cand, candVal
+			if curVal < bestVal {
+				best, bestVal = cur, curVal
+			}
+		}
+	}
+
+	res := &Result{Algorithm: "simulated-annealing", NumParams: 0, Evals: steps}
+	res.Latency.ClassicalMS = float64(time.Since(start).Microseconds()) / 1000
+	dist := map[bitvec.Vec]float64{best: 1}
+	summarizeDistribution(res, p, dist, lambda)
+	return res
+}

@@ -1,0 +1,369 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"rasengan/internal/bitvec"
+	"rasengan/internal/device"
+	"rasengan/internal/metrics"
+	"rasengan/internal/problems"
+)
+
+func fastOpts() Options {
+	return Options{Layers: 2, MaxIter: 30, Seed: 3}
+}
+
+func TestPQAOABasics(t *testing.T) {
+	p := problems.FLP(1, 0)
+	res, err := PQAOA(p, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "p-qaoa" {
+		t.Errorf("algorithm = %s", res.Algorithm)
+	}
+	if res.NumParams != 4 {
+		t.Errorf("params = %d, want 2·layers = 4", res.NumParams)
+	}
+	checkDistribution(t, p, res)
+	// Penalty methods leak probability outside the constraints.
+	if res.InConstraintsRate >= 0.999 {
+		t.Logf("note: unusually feasible P-QAOA output (%v)", res.InConstraintsRate)
+	}
+	if res.Depth <= 0 || res.CXCount <= 0 {
+		t.Error("missing circuit metrics")
+	}
+}
+
+func TestPQAOAPenalizedExpectationDominates(t *testing.T) {
+	// The penalized expectation must exceed the raw one whenever any
+	// infeasible mass exists.
+	p := problems.FLP(1, 0)
+	res, err := PQAOA(p, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InConstraintsRate < 1 && res.Expectation <= res.RawExpectation {
+		t.Error("penalty not charged to infeasible mass")
+	}
+}
+
+func TestChocoQStaysFeasible(t *testing.T) {
+	p := problems.FLP(1, 0)
+	res, err := ChocoQ(p, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.InConstraintsRate-1) > 1e-9 {
+		t.Errorf("noise-free Choco-Q in-constraints rate = %v, want 1", res.InConstraintsRate)
+	}
+	for x := range res.Distribution {
+		if !p.Feasible(x) {
+			t.Errorf("infeasible state %v in Choco-Q output", x)
+		}
+	}
+	checkDistribution(t, p, res)
+}
+
+func TestChocoQDeeperThanRasenganSegments(t *testing.T) {
+	// Choco-Q's five-layer full-mixer circuit must be much deeper than a
+	// single transition operator.
+	p := problems.FLP(2, 0)
+	res, err := ChocoQ(p, Options{Layers: 5, MaxIter: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Depth < 100 {
+		t.Errorf("Choco-Q depth suspiciously small: %d", res.Depth)
+	}
+}
+
+func TestHEABasics(t *testing.T) {
+	p := problems.FLP(1, 0)
+	res, err := HEA(p, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumParams != 2*p.N*2 {
+		t.Errorf("params = %d, want 2np = %d", res.NumParams, 2*p.N*2)
+	}
+	checkDistribution(t, p, res)
+}
+
+func TestHEAParamsExceedQAOA(t *testing.T) {
+	p := problems.FLP(1, 0)
+	hea, err := HEA(p, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qaoa, err := PQAOA(p, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hea.NumParams <= qaoa.NumParams {
+		t.Error("HEA should need far more parameters than QAOA")
+	}
+}
+
+func TestFrozenQubits(t *testing.T) {
+	p := problems.FLP(1, 0)
+	res, err := FrozenQubits(p, 1, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "frozen-qubits" {
+		t.Errorf("algorithm = %s", res.Algorithm)
+	}
+	checkDistribution(t, p, res)
+	// Distribution states must be full-width (lifted).
+	for x := range res.Distribution {
+		if x.Len() != p.N {
+			t.Fatalf("unlifted state of %d bits", x.Len())
+		}
+	}
+}
+
+func TestRedQAOA(t *testing.T) {
+	p := problems.FLP(1, 0)
+	res, err := RedQAOA(p, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "red-qaoa" {
+		t.Errorf("algorithm = %s", res.Algorithm)
+	}
+	checkDistribution(t, p, res)
+}
+
+func TestSubstituteQUBO(t *testing.T) {
+	q := problems.NewQuadObjective(3)
+	q.Constant = 1
+	q.Linear[0] = 2
+	q.Linear[1] = 3
+	q.AddQuad(0, 1, 5)
+	q.AddQuad(1, 2, 7)
+	q.Normalize()
+	sub, mp := substituteQUBO(&q, map[int]bool{1: true}, 3)
+	// With x1 = 1: f = 1 + 2x0 + 3 + 5x0 + 7x2 = 4 + 7x0 + 7x2.
+	for mask := 0; mask < 4; mask++ {
+		x := bitvec.FromUint64(uint64(mask), 2)
+		full := mp.lift(x)
+		if got, want := sub.Eval(x), q.Eval(full); math.Abs(got-want) > 1e-9 {
+			t.Errorf("substitution mismatch at %v: %v vs %v", x, got, want)
+		}
+	}
+	if !mp.lift(bitvec.New(2)).Bit(1) {
+		t.Error("lift lost the pinned bit")
+	}
+}
+
+func TestHotspotQubits(t *testing.T) {
+	q := problems.NewQuadObjective(4)
+	q.AddQuad(0, 1, 1)
+	q.AddQuad(0, 2, 1)
+	q.AddQuad(0, 3, 1)
+	q.AddQuad(1, 2, 1)
+	q.Normalize()
+	hot := hotspotQubits(&q, 1)
+	if len(hot) != 1 || hot[0] != 0 {
+		t.Errorf("hotspot = %v, want [0]", hot)
+	}
+}
+
+func TestSparsifyQUBO(t *testing.T) {
+	q := problems.NewQuadObjective(3)
+	q.AddQuad(0, 1, 0.1)
+	q.AddQuad(1, 2, 5)
+	q.AddQuad(0, 2, 3)
+	q.Normalize()
+	red := sparsifyQUBO(&q, 0.34)
+	if len(red.Quad) != 2 {
+		t.Errorf("sparsify kept %d terms, want 2", len(red.Quad))
+	}
+	for _, t2 := range red.Quad {
+		if math.Abs(t2.Coef) < 1 {
+			t.Error("sparsify dropped a strong term")
+		}
+	}
+}
+
+func TestPQAOANoisyDevice(t *testing.T) {
+	p := problems.FLP(1, 0)
+	opts := fastOpts()
+	opts.MaxIter = 5
+	opts.Shots = 128
+	opts.Trajectories = 4
+	opts.Device = device.Kyiv()
+	res, err := PQAOA(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDistribution(t, p, res)
+	if res.Latency.QuantumMS <= 0 {
+		t.Error("no quantum latency under device execution")
+	}
+}
+
+func TestChocoQNoisyLeaksWithoutPurification(t *testing.T) {
+	// Unlike Rasengan, noisy Choco-Q has no purification: its
+	// in-constraints rate should drop below 1 under heavy noise.
+	p := problems.FLP(1, 0)
+	dev := device.Kyiv()
+	dev.Noise.TwoQubitDepol = 0.05 // exaggerate to make the test robust
+	opts := Options{Layers: 3, MaxIter: 4, Shots: 512, Trajectories: 16, Seed: 5, Device: dev}
+	res, err := ChocoQ(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InConstraintsRate >= 0.999 {
+		t.Errorf("noisy Choco-Q stayed fully feasible (rate %v)", res.InConstraintsRate)
+	}
+}
+
+func TestLatencyAggregation(t *testing.T) {
+	a := metrics.Latency{QuantumMS: 1, ClassicalMS: 2, CompileMS: 3}
+	b := a.Add(a)
+	if b.TotalMS() != 12 {
+		t.Errorf("latency Add/Total wrong: %v", b.TotalMS())
+	}
+}
+
+func checkDistribution(t *testing.T, p *problems.Problem, res *Result) {
+	t.Helper()
+	if len(res.Distribution) == 0 {
+		t.Fatal("empty distribution")
+	}
+	sum := 0.0
+	for x, pr := range res.Distribution {
+		if x.Len() != p.N {
+			t.Fatalf("state width %d != %d", x.Len(), p.N)
+		}
+		if pr < 0 || pr > 1+1e-9 {
+			t.Fatalf("probability %v out of range", pr)
+		}
+		sum += pr
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("distribution sums to %v", sum)
+	}
+	if res.BestSolution.Len() != p.N {
+		t.Error("best solution missing")
+	}
+	if res.Evals <= 0 {
+		t.Error("evals not counted")
+	}
+}
+
+func TestGroverAdaptiveFindsOptimum(t *testing.T) {
+	p := problems.FLP(1, 0)
+	ref, err := problems.ExactReference(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GroverAdaptive(p, Options{MaxIter: 30, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BestFeasible {
+		t.Fatal("GAS returned infeasible best")
+	}
+	if res.BestValue != ref.Opt {
+		t.Errorf("GAS best %v, optimum %v", res.BestValue, ref.Opt)
+	}
+	if res.CXCount <= 0 || res.Depth <= 0 {
+		t.Error("GAS circuit model missing")
+	}
+	// The selection-circuit cost should dwarf a transition operator's.
+	if res.Depth < 100 {
+		t.Errorf("GAS depth %d suspiciously small", res.Depth)
+	}
+}
+
+func TestGroverAdaptiveWidthCap(t *testing.T) {
+	p := problems.GCP(4, 0) // 24 vars < cap 26, but make a wider one
+	_ = p
+	wide := problems.GenerateFLP(problems.FLPConfig{Demands: 5, Facilities: 3}, 1) // 33 vars
+	if _, err := GroverAdaptive(wide, Options{MaxIter: 5, Seed: 1}); err == nil {
+		t.Error("GAS accepted a register beyond the dense cap")
+	}
+}
+
+func TestSimulatedAnnealing(t *testing.T) {
+	p := problems.SCP(2, 0)
+	ref, err := problems.ExactReference(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := SimulatedAnnealing(p, 400, Options{Seed: 6})
+	if !res.BestFeasible {
+		t.Fatal("SA best infeasible")
+	}
+	if res.BestValue > ref.WorstCase {
+		t.Errorf("SA result %v worse than worst feasible %v", res.BestValue, ref.WorstCase)
+	}
+	if res.Latency.ClassicalMS <= 0 {
+		t.Error("SA latency not measured")
+	}
+	if res.Latency.QuantumMS != 0 {
+		t.Error("SA should have no quantum latency")
+	}
+}
+
+func TestSimulatedAnnealingDeterministic(t *testing.T) {
+	p := problems.JSP(2, 0)
+	a := SimulatedAnnealing(p, 100, Options{Seed: 9})
+	b := SimulatedAnnealing(p, 100, Options{Seed: 9})
+	if a.BestValue != b.BestValue {
+		t.Error("SA not deterministic for fixed seed")
+	}
+}
+
+func TestHEARejectsTooWide(t *testing.T) {
+	wide := problems.GenerateFLP(problems.FLPConfig{Demands: 5, Facilities: 3}, 2) // 33 vars
+	if _, err := HEA(wide, fastOpts()); err == nil {
+		t.Error("HEA accepted a register beyond the dense cap")
+	}
+	if _, err := PQAOA(wide, fastOpts()); err == nil {
+		t.Error("P-QAOA accepted a register beyond the dense cap")
+	}
+}
+
+func TestChocoQRunsWideViaSparse(t *testing.T) {
+	// Choco-Q has no dense cap: the sparse simulator carries it to widths
+	// the penalty methods cannot reach.
+	wide := problems.GenerateFLP(problems.FLPConfig{Demands: 5, Facilities: 3}, 2) // 33 vars
+	res, err := ChocoQ(wide, Options{Layers: 2, MaxIter: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InConstraintsRate < 0.999 {
+		t.Errorf("wide Choco-Q in-rate = %v", res.InConstraintsRate)
+	}
+}
+
+func TestBaselinesOnMaximizeProblem(t *testing.T) {
+	p, err := problems.NewBuilder("max", 3).Maximize().
+		Linear(0, 3).Linear(1, 2).Linear(2, 1).
+		Le(map[int]int64{0: 1, 1: 1, 2: 1}, 2).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := problems.ExactReference(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := ChocoQ(p, Options{Layers: 3, MaxIter: 40, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best sampled feasible solution should reach the max (5 = items 0+1).
+	if cq.BestValue != ref.Opt {
+		t.Errorf("Choco-Q best %v, optimum %v", cq.BestValue, ref.Opt)
+	}
+	sa := SimulatedAnnealing(p, 300, Options{Seed: 2})
+	if sa.BestValue != ref.Opt {
+		t.Errorf("SA best %v, optimum %v", sa.BestValue, ref.Opt)
+	}
+}

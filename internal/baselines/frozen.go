@@ -1,0 +1,147 @@
+package baselines
+
+import (
+	"fmt"
+	"sort"
+
+	"rasengan/internal/bitvec"
+	"rasengan/internal/problems"
+)
+
+// frozenMapping describes a FrozenQubits register reduction: the hotspot
+// qubits are pinned to constants and removed from the variational
+// register.
+type frozenMapping struct {
+	fullN   int
+	freeIdx []int      // reduced index -> full index
+	fixed   bitvec.Vec // full-width template carrying the pinned bits
+}
+
+// lift embeds a reduced-register basis state into the full register.
+func (f *frozenMapping) lift(x bitvec.Vec) bitvec.Vec {
+	out := f.fixed
+	for sub, full := range f.freeIdx {
+		out.Set(full, x.Bit(sub))
+	}
+	return out
+}
+
+// hotspotQubits ranks variables by their degree in the QUBO coupling
+// graph — the FrozenQubits criterion: hotspot nodes contribute the most
+// two-qubit gates, so pinning them shrinks the circuit the most.
+func hotspotQubits(q *problems.QuadObjective, k int) []int {
+	deg := make([]int, q.N())
+	for _, t := range q.Quad {
+		deg[t.I]++
+		deg[t.J]++
+	}
+	idx := make([]int, q.N())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return deg[idx[a]] > deg[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// substituteQUBO pins variables of a QUBO to constants, returning the
+// reduced QUBO over the free variables and the mapping.
+func substituteQUBO(q *problems.QuadObjective, pins map[int]bool, fullN int) (problems.QuadObjective, *frozenMapping) {
+	var freeIdx []int
+	subOf := make(map[int]int, q.N())
+	for i := 0; i < q.N(); i++ {
+		if _, pinned := pins[i]; !pinned {
+			subOf[i] = len(freeIdx)
+			freeIdx = append(freeIdx, i)
+		}
+	}
+	out := problems.NewQuadObjective(len(freeIdx))
+	out.Constant = q.Constant
+	for i, c := range q.Linear {
+		if v, pinned := pins[i]; pinned {
+			if v {
+				out.Constant += c
+			}
+			continue
+		}
+		out.Linear[subOf[i]] += c
+	}
+	for _, t := range q.Quad {
+		vi, pi := pins[t.I]
+		vj, pj := pins[t.J]
+		switch {
+		case pi && pj:
+			if vi && vj {
+				out.Constant += t.Coef
+			}
+		case pi:
+			if vi {
+				out.Linear[subOf[t.J]] += t.Coef
+			}
+		case pj:
+			if vj {
+				out.Linear[subOf[t.I]] += t.Coef
+			}
+		default:
+			out.AddQuad(subOf[t.I], subOf[t.J], t.Coef)
+		}
+	}
+	out.Normalize()
+	fixed := bitvec.New(fullN)
+	for i, v := range pins {
+		fixed.Set(i, v)
+	}
+	return out, &frozenMapping{fullN: fullN, freeIdx: freeIdx, fixed: fixed}
+}
+
+// FrozenQubits runs the FrozenQubits-refined P-QAOA [3]: the hotspot
+// variable(s) of the penalty QUBO are pinned to each constant assignment,
+// a smaller QAOA solves every sub-problem, and the best sub-result wins.
+// NumFrozen ≤ 0 freezes one qubit (the paper's main configuration).
+func FrozenQubits(p *problems.Problem, numFrozen int, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if numFrozen <= 0 {
+		numFrozen = 1
+	}
+	lambda := opts.PenaltyLambda
+	if lambda <= 0 {
+		lambda = autoLambda(p)
+	}
+	qubo := p.PenaltyQUBO(lambda)
+	hot := hotspotQubits(&qubo, numFrozen)
+	if len(hot) == 0 {
+		return nil, fmt.Errorf("frozen-qubits: no variables to freeze on %s", p.Name)
+	}
+
+	var best *Result
+	agg := Result{Algorithm: "frozen-qubits"}
+	for mask := 0; mask < 1<<uint(len(hot)); mask++ {
+		pins := map[int]bool{}
+		for i, q := range hot {
+			pins[q] = mask>>uint(i)&1 == 1
+		}
+		sub, mapping := substituteQUBO(&qubo, pins, p.N)
+		inst, err := newQAOAInstance(p, sub, lambda, opts.Layers)
+		if err != nil {
+			return nil, fmt.Errorf("frozen-qubits: %w", err)
+		}
+		inst.frozen = mapping
+		subOpts := opts
+		subOpts.Seed = opts.Seed + int64(mask)
+		r, err := runQAOA(inst, "frozen-qubits", subOpts, nil)
+		if err != nil {
+			return nil, err
+		}
+		agg.Evals += r.Evals
+		agg.Latency = agg.Latency.Add(r.Latency)
+		if best == nil || r.Expectation < best.Expectation {
+			best = r
+		}
+	}
+	best.Algorithm = "frozen-qubits"
+	best.Evals = agg.Evals
+	best.Latency = agg.Latency
+	return best, nil
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rasengan/internal/problems"
+)
+
+// Micro-benchmarks for the pipeline stages. Run with:
+// go test -bench=. -benchmem ./internal/core/
+
+func BenchmarkBuildBasisFLP(b *testing.B) {
+	p := problems.FLP(3, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildBasis(p, BasisOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildBasisGCPSearch(b *testing.B) {
+	// The ternary-search path (non-ternary rational basis).
+	p := problems.GCP(3, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildBasis(p, BasisOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildSchedule(b *testing.B) {
+	p := problems.SCP(3, 0)
+	basis, err := BuildBasis(p, BasisOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildSchedule(p, basis, ScheduleOptions{})
+	}
+}
+
+func BenchmarkExecutorExactRun(b *testing.B) {
+	p := problems.FLP(2, 0)
+	basis, err := BuildBasis(p, BasisOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched := BuildSchedule(p, basis, ScheduleOptions{})
+	exec, err := NewExecutor(p, sched.Ops, ExecOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	times := make([]float64, exec.NumParams())
+	for i := range times {
+		times[i] = 0.6
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Run(times, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveF1(b *testing.B) {
+	p := problems.FLP(1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p, Options{MaxIter: 60, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOperatorCircuitEmission(b *testing.B) {
+	u := make([]int64, 24)
+	u[1], u[7], u[13], u[19] = 1, -1, 1, -1
+	tr := Transition{U: u}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.OperatorCircuit(24, 0.5)
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rasengan/internal/quantum"
+	"rasengan/internal/transpile"
+)
+
+func TestNewTransitionValidates(t *testing.T) {
+	if _, err := NewTransition([]int64{0, 0}); err == nil {
+		t.Error("zero vector accepted")
+	}
+	if _, err := NewTransition([]int64{2, 0}); err == nil {
+		t.Error("entry 2 accepted")
+	}
+	tr, err := NewTransition([]int64{1, 0, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := tr.Support()
+	if len(sup) != 2 || sup[0] != 0 || sup[1] != 2 {
+		t.Errorf("Support = %v", sup)
+	}
+}
+
+// TestOperatorCircuitMatchesEquation6 verifies the emitted gate-level
+// circuit implements exp(-i·H^τ(u)·t) exactly (up to global phase) by
+// comparing against the analytic transition application on random states.
+func TestOperatorCircuitMatchesEquation6(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		u := make([]int64, n)
+		nz := 0
+		for i := range u {
+			u[i] = int64(rng.Intn(3) - 1)
+			if u[i] != 0 {
+				nz++
+			}
+		}
+		if nz == 0 {
+			u[rng.Intn(n)] = 1
+		}
+		tt := rng.Float64()*4 - 2
+		tr := Transition{U: u}
+		circ := tr.OperatorCircuit(n, tt)
+
+		// Random initial state.
+		init := quantum.NewDense(n)
+		for q := 0; q < n; q++ {
+			init.ApplyGate(quantum.Gate{Kind: quantum.GateRY, Qubits: []int{q}, Theta: rng.Float64() * 3})
+			init.ApplyGate(quantum.Gate{Kind: quantum.GateRZ, Qubits: []int{q}, Theta: rng.Float64() * 3})
+		}
+		viaCircuit := init.Clone()
+		viaCircuit.Run(circ)
+		viaOperator := init.Clone()
+		viaOperator.ApplyTransition(u, tt)
+
+		// Compare up to global phase.
+		var phase complex128
+		for x := uint64(0); x < 1<<uint(n); x++ {
+			a, b := viaOperator.Amplitude(x), viaCircuit.Amplitude(x)
+			if cmplx.Abs(a) < 1e-9 && cmplx.Abs(b) < 1e-9 {
+				continue
+			}
+			if cmplx.Abs(a) < 1e-9 || cmplx.Abs(b) < 1e-9 {
+				return false
+			}
+			r := b / a
+			if phase == 0 {
+				phase = r
+			} else if cmplx.Abs(r-phase) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOperatorCircuitDecomposed(t *testing.T) {
+	// The circuit must transpile to the native set and keep semantics.
+	u := []int64{1, -1, 1, 0, -1}
+	tr := Transition{U: u}
+	circ := tr.OperatorCircuit(5, 0.9)
+	dec := transpile.Decompose(circ)
+	if err := transpile.ValidateNative(dec); err != nil {
+		t.Fatal(err)
+	}
+	a := quantum.NewDense(5)
+	a.ApplyTransition(u, 0.9)
+	b := quantum.NewDense(dec.NumQubits)
+	b.Run(dec)
+	for x := uint64(0); x < 1<<5; x++ {
+		if math.Abs(a.Probability(x)-b.Probability(x)) > 1e-9 {
+			t.Fatalf("decomposed circuit diverges at %05b", x)
+		}
+	}
+}
+
+func TestOperatorCircuitLinearCost(t *testing.T) {
+	// Compiled CX count must grow linearly with support size k.
+	var counts []int
+	for k := 2; k <= 7; k++ {
+		u := make([]int64, k)
+		for i := range u {
+			u[i] = 1
+		}
+		circ := (Transition{U: u}).OperatorCircuit(k, 0.5)
+		dec := transpile.Decompose(circ)
+		counts = append(counts, dec.CountKind(quantum.GateCX))
+	}
+	// k=2 compiles to a plain CP and k=3 opens the V-chain, so constant
+	// increments are expected from k=4 on.
+	for i := 3; i < len(counts); i++ {
+		d1 := counts[i] - counts[i-1]
+		d2 := counts[i-1] - counts[i-2]
+		if d1 != d2 {
+			t.Errorf("CX increments not constant: %v", counts)
+			break
+		}
+	}
+	// And below the paper's 34k envelope.
+	for i, c := range counts {
+		k := i + 2
+		if c > transpile.CXCostModel(k) {
+			t.Errorf("k=%d: compiled %d CX exceeds 34k=%d", k, c, 34*k)
+		}
+	}
+}
+
+func TestCXCost34k(t *testing.T) {
+	tr := Transition{U: []int64{1, 0, -1, 1}}
+	if tr.CXCost34k() != 102 {
+		t.Errorf("34k model = %d, want 102", tr.CXCost34k())
+	}
+}
+
+func TestOperatorCircuitSingleQubit(t *testing.T) {
+	// Support-1 transitions degrade to a clean single-qubit rotation.
+	u := []int64{0, 1, 0}
+	circ := (Transition{U: u}).OperatorCircuit(3, 0.6)
+	if circ.CountTwoQubit() != 0 {
+		t.Error("support-1 operator should need no entangling gates")
+	}
+	a := quantum.NewDense(3)
+	a.ApplyTransition(u, 0.6)
+	b := quantum.NewDense(3)
+	b.Run(circ)
+	for x := uint64(0); x < 8; x++ {
+		if math.Abs(a.Probability(x)-b.Probability(x)) > 1e-9 {
+			t.Fatal("single-qubit operator circuit wrong")
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"rasengan/internal/problems"
+)
+
+// The paper stresses that pruning is a one-shot offline process whose
+// result is reused across every variational iteration. This file makes
+// that concrete across process lifetimes: a pruned schedule serializes to
+// JSON and can be reloaded and re-validated against the problem later,
+// skipping basis construction and the dry run entirely.
+
+// scheduleFile is the serialized form.
+type scheduleFile struct {
+	Version     int       `json:"version"`
+	ProblemName string    `json:"problem"`
+	NumVars     int       `json:"num_vars"`
+	Vectors     [][]int64 `json:"vectors"`
+	// Fingerprint guards against reusing a schedule for a different
+	// constraint system with the same name.
+	Fingerprint string `json:"fingerprint"`
+}
+
+const scheduleFileVersion = 1
+
+// constraintFingerprint hashes the constraint system (FNV-1a over C and
+// b) so a stored schedule can be matched to its problem.
+func constraintFingerprint(p *problems.Problem) string {
+	h := uint64(1469598103934665603)
+	mix := func(v int64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ uint64(byte(v>>(8*i)))) * 1099511628211
+		}
+	}
+	mix(int64(p.N))
+	mix(int64(p.C.Rows))
+	for _, v := range p.C.Data {
+		mix(v)
+	}
+	for _, v := range p.B {
+		mix(v)
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+// MarshalSchedule serializes a schedule's operator sequence for reuse.
+func MarshalSchedule(p *problems.Problem, s *Schedule) ([]byte, error) {
+	f := scheduleFile{
+		Version:     scheduleFileVersion,
+		ProblemName: p.Name,
+		NumVars:     p.N,
+		Fingerprint: constraintFingerprint(p),
+	}
+	for _, op := range s.Ops {
+		f.Vectors = append(f.Vectors, op.U)
+	}
+	return json.MarshalIndent(f, "", "  ")
+}
+
+// UnmarshalSchedule restores a stored schedule and validates it against
+// the problem: the fingerprint must match and every vector must be a
+// ternary kernel vector of the current constraints (defense against
+// stale files).
+func UnmarshalSchedule(p *problems.Problem, data []byte) (*Schedule, error) {
+	var f scheduleFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("core: schedule file: %w", err)
+	}
+	if f.Version != scheduleFileVersion {
+		return nil, fmt.Errorf("core: schedule file version %d, want %d", f.Version, scheduleFileVersion)
+	}
+	if f.NumVars != p.N {
+		return nil, fmt.Errorf("core: schedule for %d variables, problem has %d", f.NumVars, p.N)
+	}
+	if got := constraintFingerprint(p); f.Fingerprint != got {
+		return nil, fmt.Errorf("core: schedule fingerprint %s does not match problem %s", f.Fingerprint, got)
+	}
+	if len(f.Vectors) == 0 {
+		return nil, fmt.Errorf("core: schedule file holds no operators")
+	}
+	s := &Schedule{}
+	for i, u := range f.Vectors {
+		tr, err := NewTransition(u)
+		if err != nil {
+			return nil, fmt.Errorf("core: stored vector %d: %w", i, err)
+		}
+		sum := p.C.MulVecInt(u)
+		for r, v := range sum {
+			if v != 0 {
+				return nil, fmt.Errorf("core: stored vector %d violates constraint row %d", i, r)
+			}
+		}
+		s.Ops = append(s.Ops, tr)
+		s.AllOps = append(s.AllOps, tr)
+	}
+	return s, nil
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"rasengan/internal/problems"
+)
+
+func TestScheduleRoundTrip(t *testing.T) {
+	p := problems.FLP(2, 0)
+	basis, err := BuildBasis(p, BasisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := BuildSchedule(p, basis, ScheduleOptions{})
+	data, err := MarshalSchedule(p, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalSchedule(p, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Ops) != len(sched.Ops) {
+		t.Fatalf("ops %d != %d", len(back.Ops), len(sched.Ops))
+	}
+	for i := range sched.Ops {
+		for j, v := range sched.Ops[i].U {
+			if back.Ops[i].U[j] != v {
+				t.Fatal("vector changed in round trip")
+			}
+		}
+	}
+	// The restored schedule must drive the executor identically.
+	exec, err := NewExecutor(p, back.Ops, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.NumParams() != len(sched.Ops) {
+		t.Error("restored schedule unusable")
+	}
+}
+
+func TestScheduleRejectsWrongProblem(t *testing.T) {
+	p := problems.FLP(2, 0)
+	basis, err := BuildBasis(p, BasisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := BuildSchedule(p, basis, ScheduleOptions{})
+	data, err := MarshalSchedule(p, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different case of the same shape: fingerprints differ only if the
+	// constraints differ; FLP constraints are cost-independent, so use a
+	// different shape entirely.
+	other := problems.FLP(3, 0)
+	if _, err := UnmarshalSchedule(other, data); err == nil {
+		t.Error("schedule accepted for a different problem")
+	}
+	// Corrupted vector must be rejected.
+	bad := strings.Replace(string(data), "1", "9", 1)
+	if _, err := UnmarshalSchedule(p, []byte(bad)); err == nil {
+		t.Error("corrupted schedule accepted")
+	}
+}
+
+func TestScheduleRejectsBadVersionAndEmpty(t *testing.T) {
+	p := problems.FLP(1, 0)
+	if _, err := UnmarshalSchedule(p, []byte(`{"version":99}`)); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := UnmarshalSchedule(p, []byte(`not json`)); err == nil {
+		t.Error("malformed json accepted")
+	}
+}

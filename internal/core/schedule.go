@@ -1,0 +1,238 @@
+package core
+
+import (
+	"rasengan/internal/bitvec"
+	"rasengan/internal/problems"
+)
+
+// ScheduleOptions configures schedule construction.
+type ScheduleOptions struct {
+	// Rounds is how many passes over the vector pool to schedule; 0 picks
+	// Theorem 1's bound: m passes for totally unimodular constraints
+	// (m² operators), m² passes (m³ operators) otherwise, relying on the
+	// early stop and MaxOps cap to terminate.
+	Rounds int
+	// DisablePrune turns off redundant-operator pruning (ablation opt 2).
+	DisablePrune bool
+	// EarlyStopWindow is the number of consecutive non-expanding operators
+	// after which the tail is cut; 0 means the pool size m (Figure 6b).
+	EarlyStopWindow int
+	// MaxOps caps the unpruned schedule length defensively.
+	MaxOps int
+	// MaxTrackedStates caps the dry-run reachability sets; construction
+	// stops once the feasible expansion tracks this many states (wide
+	// instances whose feasible space cannot be held explicitly). 0 means
+	// 50,000.
+	MaxTrackedStates int
+	// SparsestFirst switches schedule construction from the paper's
+	// round-robin (m passes over the pool) to a stratified greedy: always
+	// apply the sparsest pool vector that still expands the feasible
+	// reach, admitting denser (deeper-circuit) operators only when no
+	// sparser one can make progress. Coverage is the same; the admitted
+	// operators are cheaper. Off by default to keep the paper-faithful
+	// chain semantics Figure 17 measures.
+	SparsestFirst bool
+}
+
+// Schedule is the ordered transition-operator sequence Rasengan executes,
+// together with the dry-run expansion bookkeeping that drives pruning and
+// the Figure 17 analysis.
+type Schedule struct {
+	// Ops is the final (possibly pruned) operator sequence.
+	Ops []Transition
+	// AllOps is the full unpruned sequence of the same construction.
+	AllOps []Transition
+	// TraceAll[i] is the number of feasible states reachable after the
+	// first i+1 operators of AllOps (classical dry run).
+	TraceAll []int
+	// TraceOps is the same for the pruned sequence.
+	TraceOps []int
+	// Reachable is the feasible set the pruned schedule covers, sorted.
+	Reachable []bitvec.Vec
+	// PrunedCount is how many operators pruning removed.
+	PrunedCount int
+	// EarlyStopped reports whether the tail was cut by the m-consecutive
+	// no-op rule rather than by running out of rounds.
+	EarlyStopped bool
+	// TruncatedCoverage reports that the dry run hit MaxTrackedStates and
+	// construction stopped with possibly incomplete coverage.
+	TruncatedCoverage bool
+}
+
+// BuildSchedule constructs the operator sequence: `rounds` round-robin
+// passes over the basis pool, dry-run against the feasible graph from the
+// problem seed, with redundant operators removed and the tail early-
+// stopped (Section 4.1, "Hamiltonian pruning"). The dry run is classical
+// and one-shot, exactly as the paper prescribes: redundancy is discovered
+// offline and reused across all variational iterations.
+func BuildSchedule(p *problems.Problem, b *Basis, opts ScheduleOptions) *Schedule {
+	pool := b.Vectors
+	m := len(pool)
+	rounds := opts.Rounds
+	if rounds <= 0 {
+		// Theorem 1: m rounds of the m transition Hamiltonians (m² total)
+		// cover all feasible solutions for totally unimodular constraints;
+		// the general bound is m³ operators, i.e. m² rounds. Early stop
+		// and the MaxOps cap keep the general case affordable in practice.
+		rounds = b.M
+		if !b.TU {
+			rounds = b.M * b.M
+		}
+		if rounds < 1 {
+			rounds = 1
+		}
+	}
+	window := opts.EarlyStopWindow
+	if window <= 0 {
+		window = m
+	}
+	maxOps := opts.MaxOps
+	if maxOps <= 0 {
+		maxOps = 4096
+	}
+	maxStates := opts.MaxTrackedStates
+	if maxStates <= 0 {
+		maxStates = 50000
+	}
+
+	sched := &Schedule{}
+	reach := map[bitvec.Vec]bool{p.Init: true}
+	reachPruned := map[bitvec.Vec]bool{p.Init: true}
+	consecutiveNoop := 0
+
+	if opts.SparsestFirst {
+		buildSparsestFirst(sched, p, pool, maxOps, maxStates)
+		return sched
+	}
+
+buildLoop:
+	for r := 0; r < rounds; r++ {
+		for _, u := range pool {
+			if len(sched.AllOps) >= maxOps {
+				break buildLoop
+			}
+			if len(reach) >= maxStates || len(reachPruned) >= maxStates {
+				sched.TruncatedCoverage = true
+				break buildLoop
+			}
+			tr := Transition{U: u}
+			sched.AllOps = append(sched.AllOps, tr)
+			expandInto(reach, u)
+			sched.TraceAll = append(sched.TraceAll, len(reach))
+
+			// Pruning decision against the pruned-path reachability.
+			grew := expandCount(reachPruned, u)
+			if opts.DisablePrune {
+				sched.Ops = append(sched.Ops, tr)
+				applyExpand(reachPruned, u)
+				sched.TraceOps = append(sched.TraceOps, len(reachPruned))
+				continue
+			}
+			if grew == 0 {
+				sched.PrunedCount++
+				consecutiveNoop++
+				if consecutiveNoop >= window {
+					sched.EarlyStopped = true
+					break buildLoop
+				}
+				continue
+			}
+			consecutiveNoop = 0
+			sched.Ops = append(sched.Ops, tr)
+			applyExpand(reachPruned, u)
+			sched.TraceOps = append(sched.TraceOps, len(reachPruned))
+		}
+	}
+
+	for x := range reachPruned {
+		sched.Reachable = append(sched.Reachable, x)
+	}
+	sortVecs(sched.Reachable)
+	return sched
+}
+
+// buildSparsestFirst fills sched with the stratified-greedy chain: scan
+// the (nnz-sorted) pool from the sparsest vector and apply the first one
+// that expands the reach, then rescan from the start; stop when no vector
+// expands or a budget trips.
+func buildSparsestFirst(sched *Schedule, p *problems.Problem, pool [][]int64, maxOps, maxStates int) {
+	reach := map[bitvec.Vec]bool{p.Init: true}
+	for len(sched.Ops) < maxOps && len(reach) < maxStates {
+		applied := false
+		for _, u := range pool {
+			if expandCount(reach, u) == 0 {
+				continue
+			}
+			tr := Transition{U: u}
+			sched.Ops = append(sched.Ops, tr)
+			sched.AllOps = append(sched.AllOps, tr)
+			applyExpand(reach, u)
+			sched.TraceOps = append(sched.TraceOps, len(reach))
+			sched.TraceAll = append(sched.TraceAll, len(reach))
+			applied = true
+			break
+		}
+		if !applied {
+			break
+		}
+	}
+	if len(reach) >= maxStates {
+		sched.TruncatedCoverage = true
+	}
+	for x := range reach {
+		sched.Reachable = append(sched.Reachable, x)
+	}
+	sortVecs(sched.Reachable)
+}
+
+// expandInto adds every state reachable from the set by one ±u move.
+func expandInto(reach map[bitvec.Vec]bool, u []int64) {
+	var add []bitvec.Vec
+	for x := range reach {
+		if y, ok := x.AddSigned(u); ok && !reach[y] {
+			add = append(add, y)
+		}
+		if y, ok := x.SubSigned(u); ok && !reach[y] {
+			add = append(add, y)
+		}
+	}
+	for _, y := range add {
+		reach[y] = true
+	}
+}
+
+// expandCount reports how many new states one ±u move would add.
+func expandCount(reach map[bitvec.Vec]bool, u []int64) int {
+	seen := map[bitvec.Vec]bool{}
+	for x := range reach {
+		if y, ok := x.AddSigned(u); ok && !reach[y] {
+			seen[y] = true
+		}
+		if y, ok := x.SubSigned(u); ok && !reach[y] {
+			seen[y] = true
+		}
+	}
+	return len(seen)
+}
+
+func applyExpand(reach map[bitvec.Vec]bool, u []int64) { expandInto(reach, u) }
+
+func sortVecs(v []bitvec.Vec) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j].Compare(v[j-1]) < 0; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// CoverageFraction returns, for a dry-run trace, the fraction of the
+// chain needed to reach full coverage — the Figure 17 metric. It returns
+// 1 when the trace never reaches target.
+func CoverageFraction(trace []int, target int) float64 {
+	for i, c := range trace {
+		if c >= target {
+			return float64(i+1) / float64(len(trace))
+		}
+	}
+	return 1
+}

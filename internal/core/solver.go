@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"rasengan/internal/bitvec"
+	"rasengan/internal/optimize"
+	"rasengan/internal/problems"
+)
+
+// Options configures a full Rasengan solve. The zero value enables every
+// optimization (simplify, prune, segment, purify) with exact noise-free
+// execution — the algorithmic-evaluation setting of Table 2.
+type Options struct {
+	Basis    BasisOptions
+	Schedule ScheduleOptions
+	Exec     ExecOptions
+
+	// Optimizer selects the classical parameter updater (default COBYLA,
+	// the paper's choice).
+	Optimizer optimize.Method
+	// MaxIter bounds optimizer iterations (default 100).
+	MaxIter int
+	// MaxEvals bounds objective evaluations (0 = derived).
+	MaxEvals int
+	// InitialTime seeds every evolution time (default π/4, an equal
+	// superposition split per transition).
+	InitialTime float64
+	// InitialTimes warm-starts the optimizer with a full evolution-time
+	// vector (e.g. transferred from a smaller instance or a previous
+	// solve); its length must match the scheduled operator count, else it
+	// is ignored. It replaces the first multi-start point.
+	InitialTimes []float64
+	// Seed drives all stochastic parts (sampling, noise, SPSA).
+	Seed int64
+}
+
+// LatencyBreakdown models end-to-end training time (Figure 12/13).
+type LatencyBreakdown struct {
+	QuantumMS   float64 // modeled circuit execution + readout over all evals
+	ClassicalMS float64 // optimizer + purification + bookkeeping (modeled)
+	CompileMS   float64 // measured basis/schedule/compile time
+}
+
+// TotalMS returns the full training latency.
+func (l LatencyBreakdown) TotalMS() float64 { return l.QuantumMS + l.ClassicalMS + l.CompileMS }
+
+// Result is the outcome of one Rasengan solve.
+type Result struct {
+	Problem *problems.Problem
+
+	// BestSolution is the feasible basis state with the best objective in
+	// the final distribution; BestValue its objective value.
+	BestSolution bitvec.Vec
+	BestValue    float64
+	// Expectation is Σ p(x)·f(x) over the final (purified) distribution —
+	// the E_real the paper's ARG uses.
+	Expectation float64
+	// Distribution is the final measured distribution.
+	Distribution map[bitvec.Vec]float64
+
+	// InConstraintsRate is the fraction of the output distribution that
+	// satisfies the constraints — the Figure 11(b) metric. Purification
+	// guarantees 1; ablations without it report the degraded rate.
+	InConstraintsRate float64
+	// RawFeasibleShotRate is the fraction of raw measured shots (before
+	// purification) that satisfied the constraints, a diagnostic for how
+	// much work purification did; 1 for exact noise-free runs.
+	RawFeasibleShotRate float64
+
+	NumParams        int
+	NumSegments      int
+	SegmentDepth     int // compiled depth of the deepest segment
+	UnsegmentedDepth int
+	TotalCX          int
+	Latency          LatencyBreakdown
+	Iterations       int
+	Evals            int
+
+	Basis    *Basis
+	Schedule *Schedule
+	Times    []float64
+}
+
+// Solve runs the full Rasengan pipeline on p.
+func Solve(p *problems.Problem, opts Options) (*Result, error) {
+	compileStart := time.Now()
+	basis, err := BuildBasis(p, opts.Basis)
+	if err != nil {
+		return nil, err
+	}
+	sched := BuildSchedule(p, basis, opts.Schedule)
+	if len(sched.Ops) == 0 {
+		return nil, fmt.Errorf("core: %s: schedule pruned to nothing", p.Name)
+	}
+	exec, err := NewExecutor(p, sched.Ops, opts.Exec)
+	if err != nil {
+		return nil, err
+	}
+	compileMS := float64(time.Since(compileStart).Microseconds()) / 1000
+
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	initT := opts.InitialTime
+	if initT == 0 {
+		initT = math.Pi / 4
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 7))
+
+	evalCount := 0
+	quantumNS := 0.0
+	var lastGood map[bitvec.Vec]float64
+	objective := func(t []float64) float64 {
+		evalCount++
+		dist, err := exec.Run(t, rng)
+		quantumNS += exec.LastQuantumNS
+		if err != nil {
+			return math.Inf(1)
+		}
+		lastGood = dist
+		e := 0.0
+		for _, x := range sortedDistKeys(dist) {
+			e += dist[x] * p.ScoreMin(x)
+		}
+		return e
+	}
+
+	// Multi-start: the segmented landscape is piecewise and a single
+	// derivative-free descent can stall, so the iteration budget is split
+	// across a uniform π/4 start (equal splitting per transition), a
+	// near-π/2 start (deterministic hopping), and a randomized start.
+	starts := [][]float64{
+		constVec(exec.NumParams(), initT),
+		constVec(exec.NumParams(), math.Pi/2*0.98),
+		randVec(exec.NumParams(), rng),
+	}
+	if len(opts.InitialTimes) == exec.NumParams() {
+		starts[0] = append([]float64(nil), opts.InitialTimes...)
+	}
+	perStart := maxIter / len(starts)
+	if perStart < 10 {
+		perStart = maxIter
+		starts = starts[:1]
+	}
+	var res optimize.Result
+	for i, x0 := range starts {
+		r := optimize.Minimize(opts.Optimizer, objective, x0, optimize.Options{
+			MaxIter:  perStart,
+			MaxEvals: opts.MaxEvals,
+			Step:     math.Pi / 8,
+			Seed:     opts.Seed + int64(i),
+		})
+		if i == 0 || r.F < res.F {
+			res = r
+		}
+	}
+
+	// Final evaluation at the optimizer's best parameters to produce the
+	// reported distribution and in-constraints accounting.
+	finalDist, err := exec.Run(res.X, rng)
+	quantumNS += exec.LastQuantumNS
+	if err != nil {
+		if lastGood == nil {
+			return nil, fmt.Errorf("core: %s: optimization never produced a feasible distribution: %w", p.Name, err)
+		}
+		finalDist = lastGood
+	}
+	rawRate := 1.0
+	if exec.LastMeasuredShots > 0 {
+		rawRate = float64(exec.LastFeasibleShots) / float64(exec.LastMeasuredShots)
+	}
+	inRate := 0.0
+	for x, pr := range finalDist {
+		if p.Feasible(x) {
+			inRate += pr
+		}
+	}
+	if inRate > 1 {
+		inRate = 1 // guard float accumulation past unity
+	}
+
+	out := &Result{
+		Problem:             p,
+		Distribution:        finalDist,
+		InConstraintsRate:   inRate,
+		RawFeasibleShotRate: rawRate,
+		NumParams:           exec.NumParams(),
+		NumSegments:         exec.NumSegments(),
+		SegmentDepth:        exec.MaxSegmentDepth(),
+		UnsegmentedDepth:    sumInts(exec.SegmentDepths),
+		TotalCX:             exec.TotalCX,
+		Iterations:          res.Iters,
+		Evals:               evalCount,
+		Basis:               basis,
+		Schedule:            sched,
+		Times:               res.X,
+	}
+	out.Expectation = 0
+	bestSet := false
+	for _, x := range sortedDistKeys(finalDist) {
+		pr := finalDist[x]
+		v := p.Objective(x)
+		out.Expectation += pr * v
+		if p.Feasible(x) {
+			better := !bestSet
+			if bestSet {
+				if p.Sense == problems.Minimize {
+					better = v < out.BestValue
+				} else {
+					better = v > out.BestValue
+				}
+			}
+			if better {
+				out.BestValue = v
+				out.BestSolution = x
+				bestSet = true
+			}
+		}
+	}
+	if !bestSet {
+		return nil, fmt.Errorf("core: %s: final distribution has no feasible state", p.Name)
+	}
+
+	classicalPerEval := 2.0
+	if opts.Exec.Device != nil {
+		classicalPerEval = opts.Exec.Device.ClassicalPerEvalMS
+	}
+	out.Latency = LatencyBreakdown{
+		QuantumMS:   quantumNS / 1e6,
+		ClassicalMS: float64(evalCount+1) * classicalPerEval,
+		CompileMS:   compileMS,
+	}
+	return out, nil
+}
+
+func constVec(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func randVec(n int, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64() * math.Pi
+	}
+	return out
+}
+
+func sumInts(v []int) int {
+	s := 0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}

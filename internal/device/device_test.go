@@ -1,0 +1,127 @@
+package device
+
+import (
+	"testing"
+
+	"rasengan/internal/quantum"
+)
+
+func TestDeviceModels(t *testing.T) {
+	for _, d := range []*Device{Kyiv(), Brisbane(), Quebec()} {
+		if d.NumQubits() != 127 {
+			t.Errorf("%s has %d qubits, want 127", d.Name, d.NumQubits())
+		}
+		if d.Noise.IsZero() {
+			t.Errorf("%s has no noise", d.Name)
+		}
+	}
+	// The paper: Kyiv 2q error 1.2% is worse than Brisbane 0.82%.
+	if Kyiv().Noise.TwoQubitDepol <= Brisbane().Noise.TwoQubitDepol {
+		t.Error("Kyiv should be noisier than Brisbane")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"kyiv", "ibm-brisbane", "quebec"} {
+		if _, err := ByName(n); err != nil {
+			t.Errorf("ByName(%s): %v", n, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("bogus device accepted")
+	}
+}
+
+func TestCompileSimpleCircuit(t *testing.T) {
+	d := Kyiv()
+	c := quantum.NewCircuit(4)
+	c.H(0)
+	c.CX(0, 3)
+	c.MCP([]int{0, 1, 2, 3}, 0.7)
+	comp, err := d.Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Depth <= 0 || comp.CXCount <= 0 {
+		t.Errorf("suspicious metrics: %+v", comp)
+	}
+	if comp.DurationNS <= 0 || comp.ShotLatencyNS <= comp.DurationNS {
+		t.Errorf("latency model wrong: %+v", comp)
+	}
+	// Routing on heavy-hex must respect coupling for every CX.
+	for _, g := range comp.Circuit.Gates {
+		if g.Kind == quantum.GateCX && !d.Coupling.Coupled(g.Qubits[0], g.Qubits[1]) {
+			t.Fatal("compiled CX violates coupling")
+		}
+	}
+}
+
+func TestCompileTooWide(t *testing.T) {
+	d := Kyiv()
+	c := quantum.NewCircuit(128)
+	c.H(127)
+	if _, err := d.Compile(c); err == nil {
+		t.Error("128-qubit circuit accepted on 127-qubit device")
+	}
+}
+
+func TestNoiselessDevice(t *testing.T) {
+	d := Noiseless(10)
+	if !d.Noise.IsZero() {
+		t.Error("noiseless device has noise")
+	}
+	c := quantum.NewCircuit(10)
+	c.CX(0, 9)
+	comp, err := d.Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.SwapsInserted != 0 {
+		t.Error("fully connected device required swaps")
+	}
+}
+
+func TestOperatorNoise(t *testing.T) {
+	d := Kyiv()
+	n := d.OperatorNoise(10, 20, 15)
+	if n.DepolProb <= 0 || n.DepolProb >= 1 {
+		t.Errorf("depol prob %v out of range", n.DepolProb)
+	}
+	// More gates → more error.
+	n2 := d.OperatorNoise(10, 40, 15)
+	if n2.DepolProb <= n.DepolProb {
+		t.Error("noise should grow with gate count")
+	}
+	// Gamma clamps at 0.5.
+	n3 := d.OperatorNoise(0, 0, 100000)
+	if n3.AmpDampGamma > 0.5 {
+		t.Error("gamma not clamped")
+	}
+}
+
+func TestT2DerivedModels(t *testing.T) {
+	for _, d := range []*Device{Kyiv(), Brisbane(), Quebec()} {
+		if d.T2NS <= 0 || d.T1NS < d.T2NS {
+			t.Errorf("%s: implausible coherence times T1=%v T2=%v", d.Name, d.T1NS, d.T2NS)
+		}
+	}
+}
+
+func TestCompileUsesInteractionLayout(t *testing.T) {
+	// A transition operator over scattered qubits should compile with few
+	// or no SWAPs thanks to the interaction-aware initial layout.
+	d := Quebec()
+	c := quantum.NewCircuit(12)
+	c.CX(0, 11)
+	c.CX(0, 11)
+	c.CX(0, 11)
+	comp, err := d.Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identity layout would need ≥ several swaps for each distant CX; the
+	// interaction layout places 0 and 11 adjacent so none are needed.
+	if comp.SwapsInserted != 0 {
+		t.Errorf("interaction layout still needed %d swaps", comp.SwapsInserted)
+	}
+}

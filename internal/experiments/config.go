@@ -1,0 +1,269 @@
+// Package experiments implements the harnesses that regenerate every
+// table and figure of the paper's evaluation section (Table 1, Table 2,
+// Figures 9–17). Each harness returns a structured result with a Render
+// method that prints the same rows/series the paper reports.
+//
+// The default configuration is scaled down from the paper's 40-CPU-hour
+// setup (fewer cases per benchmark, fewer optimizer iterations), exactly
+// as the original artifact's reproduction scripts do; Full mode restores
+// the paper-scale parameters.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"rasengan/internal/baselines"
+	"rasengan/internal/core"
+	"rasengan/internal/device"
+	"rasengan/internal/metrics"
+	"rasengan/internal/problems"
+)
+
+// Config shapes an experiment run.
+type Config struct {
+	// Cases per benchmark (paper: 100; scaled default: 2).
+	Cases int
+	// MaxIter bounds optimizer iterations (paper: 300; default 40).
+	MaxIter int
+	// Layers for the QAOA/HEA baselines (paper and default: 5).
+	Layers int
+	// Shots per circuit execution (paper and default: 1024; 0 = exact).
+	Shots int
+	// MaxDenseQubits skips dense-simulated baselines above this width
+	// (default 14; raise for full runs at the cost of memory/time).
+	MaxDenseQubits int
+	// Trajectories per noisy execution (default 8).
+	Trajectories int
+	Seed         int64
+	// Full restores paper-scale parameters where feasible.
+	Full bool
+	// Parallelism bounds concurrent case evaluations in the sweep-style
+	// experiments (Table 2, Figure 14). 0 uses GOMAXPROCS; 1 forces
+	// sequential execution. Results are deterministic either way: every
+	// case owns its seed and aggregation is order-independent.
+	Parallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cases <= 0 {
+		c.Cases = 2
+		if c.Full {
+			c.Cases = 10
+		}
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 40
+		if c.Full {
+			c.MaxIter = 300
+		}
+	}
+	if c.Layers <= 0 {
+		c.Layers = 5
+	}
+	if c.MaxDenseQubits <= 0 {
+		c.MaxDenseQubits = 14
+		if c.Full {
+			c.MaxDenseQubits = 21
+		}
+	}
+	if c.Trajectories <= 0 {
+		c.Trajectories = 8
+	}
+	return c
+}
+
+func (c Config) baselineOptions(dev *device.Device, seed int64) baselines.Options {
+	return baselines.Options{
+		Layers:       c.Layers,
+		MaxIter:      c.MaxIter,
+		Shots:        c.Shots,
+		Device:       dev,
+		Trajectories: c.Trajectories,
+		Seed:         seed,
+	}
+}
+
+// Algorithms in the canonical comparison order of Table 2.
+var Algorithms = []string{"hea", "p-qaoa", "choco-q", "rasengan"}
+
+// AlgoOutcome captures one (algorithm, case) run in experiment-ready form.
+type AlgoOutcome struct {
+	Algorithm string
+	ARG       float64
+	Depth     int
+	Params    int
+	InRate    float64
+	Latency   metrics.Latency
+	Err       error
+}
+
+// runAlgorithm dispatches one algorithm over one problem instance against
+// a known reference.
+func runAlgorithm(algo string, p *problems.Problem, ref problems.Reference, cfg Config, dev *device.Device, seed int64) AlgoOutcome {
+	out := AlgoOutcome{Algorithm: algo}
+	switch algo {
+	case "rasengan":
+		res, err := core.Solve(p, core.Options{
+			MaxIter: cfg.MaxIter,
+			Seed:    seed,
+			Exec: core.ExecOptions{
+				Shots:        cfg.Shots,
+				Device:       dev,
+				Trajectories: cfg.Trajectories,
+			},
+		})
+		if err != nil {
+			out.Err = err
+			return out
+		}
+		out.ARG = metrics.ARG(ref.Opt, res.Expectation)
+		out.Depth = res.SegmentDepth
+		out.Params = res.NumParams
+		out.InRate = res.InConstraintsRate
+		out.Latency = metrics.Latency{
+			QuantumMS:   res.Latency.QuantumMS,
+			ClassicalMS: res.Latency.ClassicalMS,
+			CompileMS:   res.Latency.CompileMS,
+		}
+		return out
+	case "hea", "p-qaoa", "frozen-qubits", "red-qaoa", "choco-q":
+		if algo != "choco-q" && p.N > cfg.MaxDenseQubits {
+			out.Err = fmt.Errorf("experiments: %s skipped on %s: %d qubits exceed dense cap %d", algo, p.Name, p.N, cfg.MaxDenseQubits)
+			return out
+		}
+		opts := cfg.baselineOptions(dev, seed)
+		var res *baselines.Result
+		var err error
+		switch algo {
+		case "hea":
+			res, err = baselines.HEA(p, opts)
+		case "p-qaoa":
+			res, err = baselines.PQAOA(p, opts)
+		case "frozen-qubits":
+			res, err = baselines.FrozenQubits(p, 1, opts)
+		case "red-qaoa":
+			res, err = baselines.RedQAOA(p, opts)
+		case "choco-q":
+			res, err = baselines.ChocoQ(p, opts)
+		}
+		if err != nil {
+			out.Err = err
+			return out
+		}
+		out.ARG = metrics.ARG(ref.Opt, res.Expectation)
+		out.Depth = res.Depth
+		out.Params = res.NumParams
+		out.InRate = res.InConstraintsRate
+		out.Latency = res.Latency
+		return out
+	default:
+		out.Err = fmt.Errorf("experiments: unknown algorithm %q", algo)
+		return out
+	}
+}
+
+// referenceFor computes the instance reference, preferring the exact DFS
+// enumerator and falling back to family-specific solvers for wide
+// instances.
+func referenceFor(p *problems.Problem) (problems.Reference, error) {
+	if p.N <= 24 {
+		return problems.ExactReference(p)
+	}
+	if p.Family == "FLP" {
+		return problems.FLPReference(p)
+	}
+	basis, err := core.BuildBasis(p, core.BasisOptions{})
+	if err != nil {
+		return problems.Reference{}, err
+	}
+	feas := problems.FeasibleBFS(p, basis.Vectors, 200000)
+	return problems.ReferenceFromSet(p, feas)
+}
+
+// forEachParallel runs fn(i) for i in [0, n) across the configured number
+// of workers and blocks until all complete. fn must write only to
+// i-indexed slots.
+func (c Config) forEachParallel(n int, fn func(i int)) {
+	workers := c.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// renderTable formats a simple aligned text table.
+func renderTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+func fmtF(v float64) string {
+	switch {
+	case v == 0:
+		return "0.00"
+	case v < 0.01:
+		return fmt.Sprintf("%.4f", v)
+	case v < 100:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickCfg is the smallest configuration that still exercises every code
+// path of a harness.
+func quickCfg() Config {
+	return Config{Cases: 1, MaxIter: 8, Layers: 2, Shots: 128, Trajectories: 2, MaxDenseQubits: 12, Seed: 3}
+}
+
+func TestTable1Quick(t *testing.T) {
+	res, err := Table1(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("Table 1 has %d rows, want 6", len(res.Rows))
+	}
+	var rasARG, heaARG float64
+	for _, r := range res.Rows {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Method, r.Err)
+		}
+		switch r.Method {
+		case "rasengan":
+			rasARG = r.ARG
+		case "hea":
+			heaARG = r.ARG
+		}
+	}
+	// Shape check: Rasengan beats the penalty methods by a wide margin.
+	if rasARG >= heaARG {
+		t.Errorf("rasengan ARG %v not below HEA ARG %v", rasARG, heaARG)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "rasengan") || !strings.Contains(out, "ARG") {
+		t.Error("render missing expected content")
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	cfg := quickCfg()
+	res, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 20 {
+		t.Fatalf("Table 2 has %d rows, want 20", len(res.Rows))
+	}
+	// Rasengan must run on every benchmark (sparse simulation has no
+	// width cap at these sizes).
+	for _, r := range res.Rows {
+		if r.Cells["rasengan"].ARG.N == 0 {
+			t.Errorf("%s: rasengan did not run: %v", r.Label, r.Cells["rasengan"].Errs)
+		}
+		if r.Cells["choco-q"].ARG.N == 0 {
+			t.Errorf("%s: choco-q did not run: %v", r.Label, r.Cells["choco-q"].Errs)
+		}
+	}
+	// Depth improvement over Choco-Q should be substantial.
+	if res.DepthImprovement["choco-q"] < 2 {
+		t.Errorf("depth improvement vs choco-q = %v, want ≥ 2×", res.DepthImprovement["choco-q"])
+	}
+	if !strings.Contains(res.Render(), "Improvement") {
+		t.Error("render missing improvement block")
+	}
+}
+
+func TestFig9Quick(t *testing.T) {
+	res, err := Fig9(quickCfg(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("fig9 points = %d", len(res.Points))
+	}
+	if res.RasenganDepth <= 0 {
+		t.Error("missing rasengan depth")
+	}
+	// Choco-Q depth grows with layers.
+	if res.Points[2].ChocoDepth <= res.Points[0].ChocoDepth {
+		t.Error("Choco-Q depth should grow with layers")
+	}
+	_ = res.Render()
+}
+
+func TestFig10Quick(t *testing.T) {
+	res, err := Fig10(quickCfg(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("fig10 points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.SegmentsMax < p.SegmentsUsed {
+			t.Error("pruning increased segment count")
+		}
+		if p.AvgDepth <= 0 {
+			t.Error("missing compiled depth")
+		}
+	}
+	// Larger problems need more transitions.
+	if res.Points[2].SegmentsUsed <= res.Points[0].SegmentsUsed {
+		t.Error("segments should grow with problem size")
+	}
+	_ = res.Render()
+}
+
+func TestFig11Quick(t *testing.T) {
+	res, err := Fig11(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Devices) != 2 {
+		t.Fatalf("devices = %v", res.Devices)
+	}
+	for _, dev := range res.Devices {
+		ras := res.Cells[dev]["rasengan"]
+		if ras == nil || ras.ARG.N == 0 {
+			t.Fatalf("%s: rasengan missing", dev)
+		}
+		// Purification delivers a 100% in-constraints rate.
+		if ras.InRate.Mean > 1.0001 {
+			t.Errorf("%s: in-rate %v out of range", dev, ras.InRate.Mean)
+		}
+	}
+	_ = res.Render()
+}
+
+func TestFig12Quick(t *testing.T) {
+	res, err := Fig12(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(Algorithms) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Algorithm, r.Err)
+		}
+		if r.Latency.TotalMS() <= 0 {
+			t.Errorf("%s: no latency", r.Algorithm)
+		}
+	}
+	_ = res.Render()
+}
+
+func TestFig13Quick(t *testing.T) {
+	res, err := Fig13(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 2 {
+		t.Fatalf("fig13 points = %d", len(res.Points))
+	}
+	// Shots grow linearly with segments.
+	for i := 1; i < len(res.Points); i++ {
+		a, b := res.Points[i-1], res.Points[i]
+		if a.Err != nil || b.Err != nil {
+			continue
+		}
+		if b.Segments > a.Segments && b.TotalShots <= a.TotalShots {
+			t.Error("total shots should grow with segments")
+		}
+	}
+	_ = res.Render()
+}
+
+func TestFig14Quick(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Cases = 1
+	res, err := Fig14(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PauliSweep) != 4 || len(res.DampingSweep) != 5 {
+		t.Fatalf("sweep sizes: %d, %d", len(res.PauliSweep), len(res.DampingSweep))
+	}
+	_ = res.Render()
+}
+
+func TestFig15Quick(t *testing.T) {
+	res, err := Fig15(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("fig15 rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		// The full stack must never be deeper than the unoptimized stack.
+		if r.Opt123 > r.Baseline {
+			t.Errorf("%s: optimizations increased depth %d → %d", r.Label, r.Baseline, r.Opt123)
+		}
+		// Segmentation (opt3) must not exceed opt1+2.
+		if r.Opt123 > r.Opt12 {
+			t.Errorf("%s: segmentation increased depth", r.Label)
+		}
+	}
+	if res.AvgReduction3 <= 0 {
+		t.Error("segmentation should reduce depth on average")
+	}
+	_ = res.Render()
+}
+
+func TestFig16Quick(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Cases = 1
+	res, err := Fig16(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Environments) != 3 {
+		t.Fatalf("environments = %v", res.Environments)
+	}
+	full := res.Cells["noise-free"]["+opt3"]
+	if full == nil || full.ARG.N == 0 {
+		t.Fatal("full variant missing")
+	}
+	// Purified full stack keeps everything in constraints on the ideal
+	// simulator.
+	if full.InRate.Mean < 0.999 {
+		t.Errorf("noise-free purified in-rate = %v", full.InRate.Mean)
+	}
+	_ = res.Render()
+}
+
+func TestFig17Quick(t *testing.T) {
+	res, err := Fig17(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 16 {
+		t.Fatalf("fig17 points = %d", len(res.Points))
+	}
+	fasterSomewhere := false
+	for _, p := range res.Points {
+		if p.PrunedChain > p.UnprunedChain {
+			t.Errorf("%s: pruned chain longer than unpruned", p.Label)
+		}
+		if p.Speedup > 1 {
+			fasterSomewhere = true
+		}
+	}
+	if !fasterSomewhere {
+		t.Error("pruning never accelerated expansion")
+	}
+	_ = res.Render()
+}
+
+func TestSummaryQuick(t *testing.T) {
+	cfg := quickCfg()
+	cfg.MaxIter = 25
+	res, err := Summary(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Claims) != 5 {
+		t.Fatalf("claims = %d", len(res.Claims))
+	}
+	for _, c := range res.Claims {
+		if !c.Holds {
+			t.Errorf("claim failed at quick scale: %s (measured %s)", c.Statement, c.Measured)
+		}
+	}
+	if !strings.Contains(res.Render(), "✔") {
+		t.Error("render missing check marks")
+	}
+}
+
+func TestAblationQuick(t *testing.T) {
+	cfg := quickCfg()
+	cfg.MaxIter = 35
+	res, err := Ablation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 13 {
+		t.Fatalf("ablation rows = %d, want 13", len(res.Rows))
+	}
+	studies := map[string]int{}
+	for _, r := range res.Rows {
+		studies[r.Study]++
+		if r.ARG.N == 0 && r.Failures == 0 {
+			t.Errorf("%s/%s produced no data", r.Study, r.Variant)
+		}
+	}
+	for _, s := range []string{"multi-start", "optimizer", "depth-budget", "trajectories"} {
+		if studies[s] == 0 {
+			t.Errorf("study %s missing", s)
+		}
+	}
+	_ = res.Render()
+}
+
+func TestGalleryQuick(t *testing.T) {
+	cfg := quickCfg()
+	res, err := Gallery(cfg, "F1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("gallery rows = %d, want 8", len(res.Rows))
+	}
+	names := map[string]bool{}
+	for _, r := range res.Rows {
+		names[r.Solver] = true
+		if r.Err != nil {
+			t.Errorf("%s failed: %v", r.Solver, r.Err)
+		}
+	}
+	for _, want := range []string{"rasengan", "grover-adaptive", "simulated-annealing", "choco-q"} {
+		if !names[want] {
+			t.Errorf("solver %s missing from gallery", want)
+		}
+	}
+	if !strings.Contains(res.Render(), "Solver gallery") {
+		t.Error("render wrong")
+	}
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rasengan/internal/device"
+	"rasengan/internal/metrics"
+	"rasengan/internal/problems"
+)
+
+// fig11Benchmarks are the small-scale cases deployed on real devices.
+var fig11Benchmarks = []string{"F1", "K1", "J1"}
+
+// Fig11Cell is one (device, algorithm) aggregate.
+type Fig11Cell struct {
+	ARG     metrics.Summary
+	InRate  metrics.Summary
+	Latency metrics.Latency
+	Errs    int
+}
+
+// Fig11Result reproduces Figure 11: average ARG and in-constraints rate
+// per algorithm on the Kyiv-like and Brisbane-like device models, plus
+// the mean-feasible reference line.
+type Fig11Result struct {
+	Devices     []string
+	Cells       map[string]map[string]*Fig11Cell // device -> algorithm -> cell
+	MeanFeasARG float64                          // ARG of the mean feasible solution
+}
+
+// Fig11 runs the hardware evaluation (the paper caps iterations at 100 on
+// real devices; the scaled default is lower still).
+func Fig11(cfg Config) (*Fig11Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Shots <= 0 {
+		cfg.Shots = 1024
+	}
+	devices := []*device.Device{device.Kyiv(), device.Brisbane()}
+	out := &Fig11Result{Cells: map[string]map[string]*Fig11Cell{}}
+	var meanFeasARGs []float64
+	for _, dev := range devices {
+		out.Devices = append(out.Devices, dev.Name)
+		out.Cells[dev.Name] = map[string]*Fig11Cell{}
+		for _, algo := range Algorithms {
+			cell := &Fig11Cell{}
+			var args, rates []float64
+			for _, label := range fig11Benchmarks {
+				b, err := problems.ByLabel(label)
+				if err != nil {
+					return nil, err
+				}
+				for c := 0; c < cfg.Cases; c++ {
+					p := b.Generate(c)
+					ref, err := problems.ExactReference(p)
+					if err != nil {
+						return nil, err
+					}
+					if dev == devices[0] && algo == Algorithms[0] {
+						meanFeasARGs = append(meanFeasARGs, metrics.ARG(ref.Opt, ref.MeanFeasible))
+					}
+					r := runAlgorithm(algo, p, ref, cfg, dev, cfg.Seed+int64(c))
+					if r.Err != nil {
+						cell.Errs++
+						continue
+					}
+					args = append(args, r.ARG)
+					rates = append(rates, r.InRate)
+					cell.Latency = cell.Latency.Add(r.Latency)
+				}
+			}
+			cell.ARG = metrics.Summarize(args)
+			cell.InRate = metrics.Summarize(rates)
+			if cell.ARG.N > 0 {
+				cell.Latency = cell.Latency.Scale(1 / float64(cell.ARG.N))
+			}
+			out.Cells[dev.Name][algo] = cell
+		}
+	}
+	out.MeanFeasARG = metrics.Summarize(meanFeasARGs).Mean
+	return out, nil
+}
+
+// Render prints the two panels of Figure 11.
+func (f *Fig11Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 11: evaluation on (simulated) real-world quantum platforms\n")
+	fmt.Fprintf(&sb, "Mean-feasible baseline ARG: %s\n\n", fmtF(f.MeanFeasARG))
+	for _, panel := range []string{"Average ARG", "In-constraints rate"} {
+		fmt.Fprintf(&sb, "%s\n", panel)
+		header := append([]string{"Device"}, Algorithms...)
+		var rows [][]string
+		for _, dev := range f.Devices {
+			cells := []string{dev}
+			for _, algo := range Algorithms {
+				c := f.Cells[dev][algo]
+				if c == nil || c.ARG.N == 0 {
+					cells = append(cells, "—")
+					continue
+				}
+				if panel == "Average ARG" {
+					cells = append(cells, fmtF(c.ARG.Mean))
+				} else {
+					cells = append(cells, fmt.Sprintf("%.1f%%", 100*c.InRate.Mean))
+				}
+			}
+			rows = append(rows, cells)
+		}
+		sb.WriteString(renderTable(header, rows))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rasengan/internal/device"
+	"rasengan/internal/metrics"
+	"rasengan/internal/problems"
+	"rasengan/internal/textplot"
+)
+
+// Fig12Row is one algorithm's latency breakdown.
+type Fig12Row struct {
+	Algorithm     string
+	Latency       metrics.Latency
+	ClassicalFrac float64
+	Err           error
+}
+
+// Fig12Result reproduces Figure 12: the classical/quantum training
+// latency breakdown per method on the hardware benchmarks.
+type Fig12Result struct {
+	Rows []Fig12Row
+}
+
+// Fig12 measures the per-method latency breakdown on F1 with the
+// Kyiv-like device model.
+func Fig12(cfg Config) (*Fig12Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Shots <= 0 {
+		cfg.Shots = 1024
+	}
+	dev := device.Kyiv()
+	p := problems.FLP(1, 0)
+	ref, err := problems.ExactReference(p)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig12Result{}
+	for _, algo := range Algorithms {
+		r := runAlgorithm(algo, p, ref, cfg, dev, cfg.Seed)
+		row := Fig12Row{Algorithm: algo, Latency: r.Latency, Err: r.Err}
+		if total := r.Latency.TotalMS(); total > 0 {
+			row.ClassicalFrac = (r.Latency.ClassicalMS + r.Latency.CompileMS) / total
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the stacked-bar data of Figure 12.
+func (f *Fig12Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 12: training latency breakdown (F1 on ibm-kyiv model)\n\n")
+	header := []string{"Method", "Quantum (ms)", "Classical (ms)", "Compile (ms)", "Total (ms)", "Classical %"}
+	var rows [][]string
+	for _, r := range f.Rows {
+		if r.Err != nil {
+			rows = append(rows, []string{r.Algorithm, "error", r.Err.Error(), "", "", ""})
+			continue
+		}
+		rows = append(rows, []string{
+			r.Algorithm,
+			fmtF(r.Latency.QuantumMS),
+			fmtF(r.Latency.ClassicalMS),
+			fmtF(r.Latency.CompileMS),
+			fmtF(r.Latency.TotalMS()),
+			fmt.Sprintf("%.0f%%", 100*r.ClassicalFrac),
+		})
+	}
+	sb.WriteString(renderTable(header, rows))
+	var bars []textplot.Bar
+	for _, r := range f.Rows {
+		if r.Err == nil {
+			bars = append(bars, textplot.Bar{Label: r.Algorithm, Value: r.Latency.TotalMS()})
+		}
+	}
+	sb.WriteByte('\n')
+	sb.WriteString(textplot.BarChart("total training latency (ms)", bars, 44))
+	return sb.String()
+}

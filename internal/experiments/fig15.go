@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rasengan/internal/core"
+	"rasengan/internal/problems"
+)
+
+// fig15Benchmarks are the first scale of each family.
+var fig15Benchmarks = []string{"F1", "K1", "J1", "S1", "G1"}
+
+// Fig15Row is one benchmark's executable depth under cumulative
+// optimizations.
+type Fig15Row struct {
+	Label    string
+	Baseline int // no optimizations: raw basis, unpruned, one circuit
+	Opt1     int // + Hamiltonian simplification
+	Opt12    int // + pruning and early stop
+	Opt123   int // + segmented execution (deepest segment)
+}
+
+// Fig15Result reproduces Figure 15: the ablation of the three circuit
+// optimizations on executable depth.
+type Fig15Result struct {
+	Rows []Fig15Row
+	// Average reduction fraction contributed by each optimization step.
+	AvgReduction1, AvgReduction2, AvgReduction3 float64
+}
+
+// depthWith builds the schedule under the given ablation switches and
+// returns the executable depth.
+func depthWith(p *problems.Problem, simplify, prune, segment bool) (int, error) {
+	basis, err := core.BuildBasis(p, core.BasisOptions{DisableSimplify: !simplify})
+	if err != nil {
+		return 0, err
+	}
+	sched := core.BuildSchedule(p, basis, core.ScheduleOptions{DisablePrune: !prune})
+	exec, err := core.NewExecutor(p, sched.Ops, core.ExecOptions{DisableSegmentation: !segment})
+	if err != nil {
+		return 0, err
+	}
+	return exec.MaxSegmentDepth(), nil
+}
+
+// Fig15 measures depth under the cumulative optimization stack.
+func Fig15(cfg Config) (*Fig15Result, error) {
+	cfg = cfg.withDefaults()
+	out := &Fig15Result{}
+	var r1, r2, r3 []float64
+	for _, label := range fig15Benchmarks {
+		b, err := problems.ByLabel(label)
+		if err != nil {
+			return nil, err
+		}
+		p := b.Generate(0)
+		row := Fig15Row{Label: label}
+		if row.Baseline, err = depthWith(p, false, false, false); err != nil {
+			return nil, fmt.Errorf("fig15 %s: %w", label, err)
+		}
+		if row.Opt1, err = depthWith(p, true, false, false); err != nil {
+			return nil, fmt.Errorf("fig15 %s: %w", label, err)
+		}
+		if row.Opt12, err = depthWith(p, true, true, false); err != nil {
+			return nil, fmt.Errorf("fig15 %s: %w", label, err)
+		}
+		if row.Opt123, err = depthWith(p, true, true, true); err != nil {
+			return nil, fmt.Errorf("fig15 %s: %w", label, err)
+		}
+		out.Rows = append(out.Rows, row)
+		if row.Baseline > 0 {
+			r1 = append(r1, 1-float64(row.Opt1)/float64(row.Baseline))
+		}
+		if row.Opt1 > 0 {
+			r2 = append(r2, 1-float64(row.Opt12)/float64(row.Opt1))
+		}
+		if row.Opt12 > 0 {
+			r3 = append(r3, 1-float64(row.Opt123)/float64(row.Opt12))
+		}
+	}
+	out.AvgReduction1 = mean(r1)
+	out.AvgReduction2 = mean(r2)
+	out.AvgReduction3 = mean(r3)
+	return out, nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Render prints the ablation table.
+func (f *Fig15Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 15: ablation of optimization strategies on circuit depth\n\n")
+	header := []string{"Bench", "No opts", "+opt1 simplify", "+opt2 prune", "+opt3 segment"}
+	var rows [][]string
+	for _, r := range f.Rows {
+		rows = append(rows, []string{
+			r.Label, fmt.Sprint(r.Baseline), fmt.Sprint(r.Opt1), fmt.Sprint(r.Opt12), fmt.Sprint(r.Opt123),
+		})
+	}
+	sb.WriteString(renderTable(header, rows))
+	fmt.Fprintf(&sb, "\nAverage incremental depth reduction: opt1 %.1f%%, opt2 %.1f%%, opt3 %.1f%%\n",
+		100*f.AvgReduction1, 100*f.AvgReduction2, 100*f.AvgReduction3)
+	return sb.String()
+}

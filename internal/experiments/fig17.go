@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rasengan/internal/core"
+	"rasengan/internal/metrics"
+	"rasengan/internal/problems"
+	"rasengan/internal/textplot"
+)
+
+// fig17Families are the families of the pruning study (the paper uses
+// FLP, KPP, SCP, GCP).
+var fig17Families = []string{"FLP", "KPP", "SCP", "GCP"}
+
+// Fig17Point measures the search-space expansion of one benchmark.
+type Fig17Point struct {
+	Label         string
+	NumFeasible   int
+	UnprunedFrac  float64 // fraction of the unpruned chain to full coverage
+	PrunedFrac    float64 // fraction of the pruned chain to full coverage
+	Speedup       float64
+	UnprunedChain int
+	PrunedChain   int
+}
+
+// Fig17Result reproduces Figure 17: pruning accelerates feasible-space
+// expansion.
+type Fig17Result struct {
+	Points []Fig17Point
+}
+
+// Fig17 compares expansion speed of pruned vs unpruned transition chains
+// across four scales of four families.
+func Fig17(cfg Config) (*Fig17Result, error) {
+	cfg = cfg.withDefaults()
+	out := &Fig17Result{}
+	for _, fam := range fig17Families {
+		for scale := 1; scale <= 4; scale++ {
+			b := problems.Benchmark{Family: fam, Scale: scale}
+			p := b.Generate(0)
+			basis, err := core.BuildBasis(p, core.BasisOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("fig17 %s: %w", b.Label(), err)
+			}
+			unpruned := core.BuildSchedule(p, basis, core.ScheduleOptions{DisablePrune: true})
+			pruned := core.BuildSchedule(p, basis, core.ScheduleOptions{})
+			target := len(pruned.Reachable)
+			total := float64(len(unpruned.AllOps))
+			// Both fractions are relative to the total (unpruned) chain
+			// length, as in the paper ("73.6% of the total chain length"
+			// unpruned vs "40.7%" pruned on the fourth scale).
+			pt := Fig17Point{
+				Label:         b.Label(),
+				NumFeasible:   target,
+				UnprunedFrac:  float64(opsToCover(unpruned.TraceAll, target)) / total,
+				PrunedFrac:    float64(opsToCover(pruned.TraceOps, target)) / total,
+				UnprunedChain: len(unpruned.AllOps),
+				PrunedChain:   len(pruned.Ops),
+			}
+			pt.Speedup = metrics.Improvement(pt.UnprunedFrac, pt.PrunedFrac)
+			out.Points = append(out.Points, pt)
+		}
+	}
+	return out, nil
+}
+
+// opsToCover returns how many chain operators a dry-run trace needs to
+// reach the target coverage (the trace length if it never does).
+func opsToCover(trace []int, target int) int {
+	for i, c := range trace {
+		if c >= target {
+			return i + 1
+		}
+	}
+	return len(trace)
+}
+
+// Render prints the expansion-speed comparison.
+func (f *Fig17Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 17: solution-space expansion with Hamiltonian pruning\n\n")
+	header := []string{"Bench", "#Feasible", "Unpruned chain", "Pruned chain", "Cover@unpruned", "Cover@pruned", "Speedup"}
+	var rows [][]string
+	for _, p := range f.Points {
+		rows = append(rows, []string{
+			p.Label, fmt.Sprint(p.NumFeasible),
+			fmt.Sprint(p.UnprunedChain), fmt.Sprint(p.PrunedChain),
+			fmt.Sprintf("%.1f%%", 100*p.UnprunedFrac),
+			fmt.Sprintf("%.1f%%", 100*p.PrunedFrac),
+			metrics.FormatX(p.Speedup),
+		})
+	}
+	sb.WriteString(renderTable(header, rows))
+	var bars []textplot.Bar
+	for _, p := range f.Points {
+		bars = append(bars, textplot.Bar{Label: p.Label + " unpruned", Value: 100 * p.UnprunedFrac})
+		bars = append(bars, textplot.Bar{Label: p.Label + " pruned  ", Value: 100 * p.PrunedFrac})
+	}
+	sb.WriteByte('\n')
+	sb.WriteString(textplot.BarChart("chain fraction to full coverage (%)", bars, 40))
+	return sb.String()
+}

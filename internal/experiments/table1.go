@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rasengan/internal/problems"
+)
+
+// Table1Row is one method's summary line of Table 1: ARG and end-to-end
+// training latency on a 12-qubit set covering instance, noise-free.
+type Table1Row struct {
+	Method    string
+	ARG       float64
+	LatencyMS float64
+	Err       error
+}
+
+// Table1Result reproduces Table 1.
+type Table1Result struct {
+	Benchmark string
+	Rows      []Table1Row
+}
+
+// Table1 runs the method-overview comparison: HEA, P-QAOA (with
+// FrozenQubits and Red-QAOA refinements), Choco-Q, and Rasengan on the
+// ~12-qubit set covering case of the paper's Table 1.
+func Table1(cfg Config) (*Table1Result, error) {
+	cfg = cfg.withDefaults()
+	// S3 is the ~12-qubit set covering scale.
+	p := problems.SCP(3, 0)
+	ref, err := referenceFor(p)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table1Result{Benchmark: fmt.Sprintf("%s (%d qubits)", p.Name, p.N)}
+	for _, algo := range []string{"hea", "p-qaoa", "frozen-qubits", "red-qaoa", "choco-q", "rasengan"} {
+		r := runAlgorithm(algo, p, ref, cfg, nil, cfg.Seed)
+		out.Rows = append(out.Rows, Table1Row{
+			Method:    algo,
+			ARG:       r.ARG,
+			LatencyMS: r.Latency.TotalMS(),
+			Err:       r.Err,
+		})
+	}
+	return out, nil
+}
+
+// Render prints the table in the paper's layout.
+func (t *Table1Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 1: VQA designs for constrained binary optimization\n")
+	fmt.Fprintf(&sb, "Benchmark: %s, noise-free simulator\n\n", t.Benchmark)
+	header := []string{"Method", "ARG (↓)", "Latency (ms)"}
+	var rows [][]string
+	for _, r := range t.Rows {
+		if r.Err != nil {
+			rows = append(rows, []string{r.Method, "error", r.Err.Error()})
+			continue
+		}
+		rows = append(rows, []string{r.Method, fmtF(r.ARG), fmtF(r.LatencyMS)})
+	}
+	sb.WriteString(renderTable(header, rows))
+	return sb.String()
+}

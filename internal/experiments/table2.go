@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rasengan/internal/metrics"
+	"rasengan/internal/problems"
+)
+
+// Table2Cell aggregates one (benchmark, algorithm) pair over the cases.
+type Table2Cell struct {
+	ARG    metrics.Summary
+	Depth  metrics.Summary
+	Params metrics.Summary
+	Skips  int
+	Errs   []string
+}
+
+// Table2Row is one benchmark column of the paper's Table 2 (transposed:
+// we emit one row per benchmark).
+type Table2Row struct {
+	Label       string
+	NumVars     int
+	NumConstr   int
+	NumFeasible int
+	// AvgDegree is the constraint-topology average node degree, the
+	// paper's constraint-hardness measure.
+	AvgDegree float64
+	Cells     map[string]*Table2Cell
+}
+
+// Table2Result reproduces Table 2: ARG, circuit depth, and parameter
+// count for four algorithms over the 20-benchmark suite.
+type Table2Result struct {
+	Rows  []*Table2Row
+	Cases int
+	// Improvement factors vs Rasengan (mean ARG ratios and depth ratios),
+	// keyed by algorithm.
+	ARGImprovement   map[string]float64
+	DepthImprovement map[string]float64
+}
+
+// Table2 runs the algorithmic evaluation over the suite. Benchmarks whose
+// width exceeds the dense cap run only the sparse-simulated algorithms
+// (Choco-Q, Rasengan), mirroring how the artifact scales itself down.
+func Table2(cfg Config) (*Table2Result, error) {
+	cfg = cfg.withDefaults()
+	out := &Table2Result{Cases: cfg.Cases, ARGImprovement: map[string]float64{}, DepthImprovement: map[string]float64{}}
+	sumARG := map[string][]float64{}
+	sumDepth := map[string][]float64{}
+
+	// Flatten the (benchmark, case, algorithm) grid into independent jobs
+	// so the sweep parallelizes; each job owns its seed and slot.
+	suite := problems.Suite()
+	type job struct {
+		bench   int
+		caseIdx int
+		algoIdx int
+	}
+	var jobs []job
+	for bi := range suite {
+		for c := 0; c < cfg.Cases; c++ {
+			for ai := range Algorithms {
+				jobs = append(jobs, job{bench: bi, caseIdx: c, algoIdx: ai})
+			}
+		}
+	}
+	type jobResult struct {
+		outcome     AlgoOutcome
+		numVars     int
+		numConstr   int
+		numFeasible int
+		avgDegree   float64
+		err         error
+	}
+	results := make([]jobResult, len(jobs))
+	cfg.forEachParallel(len(jobs), func(i int) {
+		j := jobs[i]
+		p := suite[j.bench].Generate(j.caseIdx)
+		ref, err := referenceFor(p)
+		if err != nil {
+			results[i].err = fmt.Errorf("table2: %s: %w", p.Name, err)
+			return
+		}
+		results[i] = jobResult{
+			outcome:     runAlgorithm(Algorithms[j.algoIdx], p, ref, cfg, nil, cfg.Seed+int64(j.caseIdx)),
+			numVars:     p.N,
+			numConstr:   p.NumConstraints(),
+			numFeasible: ref.NumFeasible,
+			avgDegree:   problems.ConstraintTopology(p).AverageDegree,
+		}
+	})
+
+	for bi, b := range suite {
+		row := &Table2Row{Label: b.Label(), Cells: map[string]*Table2Cell{}}
+		args := map[string][]float64{}
+		depths := map[string][]float64{}
+		params := map[string][]float64{}
+		for i, j := range jobs {
+			if j.bench != bi {
+				continue
+			}
+			res := results[i]
+			if res.err != nil {
+				return nil, res.err
+			}
+			row.NumVars = res.numVars
+			row.NumConstr = res.numConstr
+			if j.caseIdx == 0 && res.numFeasible > 0 {
+				row.NumFeasible = res.numFeasible
+			}
+			if row.AvgDegree == 0 {
+				row.AvgDegree = res.avgDegree
+			}
+			algo := Algorithms[j.algoIdx]
+			cell := row.Cells[algo]
+			if cell == nil {
+				cell = &Table2Cell{}
+				row.Cells[algo] = cell
+			}
+			if res.outcome.Err != nil {
+				cell.Skips++
+				cell.Errs = append(cell.Errs, res.outcome.Err.Error())
+				continue
+			}
+			args[algo] = append(args[algo], res.outcome.ARG)
+			depths[algo] = append(depths[algo], float64(res.outcome.Depth))
+			params[algo] = append(params[algo], float64(res.outcome.Params))
+		}
+		for _, algo := range Algorithms {
+			cell := row.Cells[algo]
+			cell.ARG = metrics.Summarize(args[algo])
+			cell.Depth = metrics.Summarize(depths[algo])
+			cell.Params = metrics.Summarize(params[algo])
+			sumARG[algo] = append(sumARG[algo], args[algo]...)
+			sumDepth[algo] = append(sumDepth[algo], depths[algo]...)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	ras := metrics.Summarize(sumARG["rasengan"])
+	rasDepth := metrics.Summarize(sumDepth["rasengan"])
+	for _, algo := range Algorithms {
+		if algo == "rasengan" {
+			continue
+		}
+		s := metrics.Summarize(sumARG[algo])
+		if s.N > 0 && ras.N > 0 {
+			out.ARGImprovement[algo] = metrics.Improvement(s.Mean, ras.Mean)
+		}
+		d := metrics.Summarize(sumDepth[algo])
+		if d.N > 0 && rasDepth.N > 0 {
+			out.DepthImprovement[algo] = metrics.Improvement(d.Mean, rasDepth.Mean)
+		}
+	}
+	return out, nil
+}
+
+// Render prints the three metric blocks of Table 2.
+func (t *Table2Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 2: algorithmic evaluation over %d cases per benchmark\n\n", t.Cases)
+	for _, metric := range []string{"ARG", "Circuit depth", "#Param."} {
+		fmt.Fprintf(&sb, "%s\n", metric)
+		header := []string{"Bench", "#Vars", "#Cons", "#Feas", "AvgDeg"}
+		header = append(header, Algorithms...)
+		var rows [][]string
+		for _, r := range t.Rows {
+			cells := []string{r.Label, fmt.Sprint(r.NumVars), fmt.Sprint(r.NumConstr), fmt.Sprint(r.NumFeasible), fmt.Sprintf("%.2f", r.AvgDegree)}
+			for _, algo := range Algorithms {
+				cell := r.Cells[algo]
+				var s metrics.Summary
+				switch metric {
+				case "ARG":
+					s = cell.ARG
+				case "Circuit depth":
+					s = cell.Depth
+				default:
+					s = cell.Params
+				}
+				if s.N == 0 {
+					cells = append(cells, "—")
+				} else if metric == "ARG" {
+					cells = append(cells, fmtF(s.Mean))
+				} else {
+					cells = append(cells, fmt.Sprintf("%.0f", s.Mean))
+				}
+			}
+			rows = append(rows, cells)
+		}
+		sb.WriteString(renderTable(header, rows))
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("Improvement of Rasengan (mean ratios):\n")
+	for _, algo := range Algorithms {
+		if algo == "rasengan" {
+			continue
+		}
+		fmt.Fprintf(&sb, "  ARG vs %-8s %s    depth vs %-8s %s\n",
+			algo, metrics.FormatX(t.ARGImprovement[algo]),
+			algo, metrics.FormatX(t.DepthImprovement[algo]))
+	}
+	return sb.String()
+}

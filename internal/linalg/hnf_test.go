@@ -1,0 +1,106 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelBasisIntegerPaperExample(t *testing.T) {
+	C := paperC()
+	basis := KernelBasisInteger(C)
+	if len(basis) != 3 {
+		t.Fatalf("kernel dim = %d, want 3", len(basis))
+	}
+	if err := NullityCheck(C, basis); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelBasisIntegerMatchesRREFDimension(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(4), 2+rng.Intn(6)
+		m := NewIntMat(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = int64(rng.Intn(7) - 3)
+		}
+		hnf := KernelBasisInteger(m)
+		if NullityCheck(m, hnf) != nil {
+			return false
+		}
+		// Same dimension as the rational nullspace.
+		return len(hnf) == len(Nullspace(m))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKernelBasisIntegerPrimitive(t *testing.T) {
+	// 2x + 4y = 0 has primitive kernel vector ±(2, -1).
+	m := FromRows([][]int64{{2, 4}})
+	basis := KernelBasisInteger(m)
+	if len(basis) != 1 {
+		t.Fatalf("dim = %d", len(basis))
+	}
+	u := basis[0]
+	if !((u[0] == 2 && u[1] == -1) || (u[0] == -2 && u[1] == 1)) {
+		t.Errorf("kernel = %v, want ±(2,-1)", u)
+	}
+}
+
+func TestKernelBasisIntegerFullRank(t *testing.T) {
+	m := FromRows([][]int64{{1, 0}, {0, 1}})
+	if basis := KernelBasisInteger(m); len(basis) != 0 {
+		t.Errorf("identity kernel should be trivial, got %d vectors", len(basis))
+	}
+}
+
+func TestKernelBasisIntegerZeroMatrix(t *testing.T) {
+	m := NewIntMat(2, 4)
+	basis := KernelBasisInteger(m)
+	if len(basis) != 4 {
+		t.Errorf("zero-matrix kernel dim = %d, want 4", len(basis))
+	}
+}
+
+func TestKernelBasisIntegerLinearIndependence(t *testing.T) {
+	// Stack the returned kernel vectors as rows: the rank must equal the
+	// count (linear independence).
+	C := FromRows([][]int64{
+		{1, 1, -1, 0, 0, 0},
+		{0, 1, 1, -1, 0, 1},
+	})
+	basis := KernelBasisInteger(C)
+	if len(basis) == 0 {
+		t.Fatal("empty kernel")
+	}
+	stack := NewIntMat(len(basis), C.Cols)
+	for r, u := range basis {
+		for c, v := range u {
+			stack.Set(r, c, v)
+		}
+	}
+	if Rank(stack) != len(basis) {
+		t.Errorf("kernel vectors dependent: rank %d of %d", Rank(stack), len(basis))
+	}
+}
+
+// TestHNFEntriesOftenSmall records the motivation for the integer path:
+// on the benchmark-style one-hot constraint structure, HNF kernels stay
+// in small integers.
+func TestHNFEntriesOftenSmall(t *testing.T) {
+	C := FromRows([][]int64{
+		{1, 1, 1, 0, 0, 0},
+		{0, 0, 0, 1, 1, 1},
+		{1, 0, 0, 1, 0, 0},
+	})
+	for _, u := range KernelBasisInteger(C) {
+		for _, v := range u {
+			if v < -2 || v > 2 {
+				t.Errorf("unexpectedly large entry %d in %v", v, u)
+			}
+		}
+	}
+}

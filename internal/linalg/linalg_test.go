@@ -1,0 +1,185 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// paperC is the running example of the paper (Figure 1a / Equation 4).
+func paperC() *IntMat {
+	return FromRows([][]int64{
+		{1, 1, -1, 0, 0},
+		{0, 0, 1, 1, -1},
+	})
+}
+
+func TestRankPaperExample(t *testing.T) {
+	if r := Rank(paperC()); r != 2 {
+		t.Errorf("Rank = %d, want 2", r)
+	}
+}
+
+func TestNullspacePaperExample(t *testing.T) {
+	basis := Nullspace(paperC())
+	if len(basis) != 3 {
+		t.Fatalf("nullspace dim = %d, want 3", len(basis))
+	}
+	if err := NullityCheck(paperC(), basis); err != nil {
+		t.Fatal(err)
+	}
+	for k, u := range basis {
+		for i, v := range u {
+			if v < -1 || v > 1 {
+				t.Errorf("basis[%d][%d] = %d outside {-1,0,1} for TU matrix", k, i, v)
+			}
+		}
+	}
+}
+
+func TestNullspaceSpansPaperSolutions(t *testing.T) {
+	// Every feasible solution of Cx=b must differ from xp by a nullspace
+	// combination, i.e. C(x - xp) = 0.
+	C := paperC()
+	b := []int64{0, 1}
+	xp := []int{0, 0, 0, 1, 0}
+	if !C.SatisfiesEq(xp, b) {
+		t.Fatal("xp not feasible")
+	}
+	count := 0
+	for mask := 0; mask < 32; mask++ {
+		x := []int{mask & 1, mask >> 1 & 1, mask >> 2 & 1, mask >> 3 & 1, mask >> 4 & 1}
+		if !C.SatisfiesEq(x, b) {
+			continue
+		}
+		count++
+		diff := make([]int64, 5)
+		for i := range x {
+			diff[i] = int64(x[i] - xp[i])
+		}
+		got := C.MulVecInt(diff)
+		for _, g := range got {
+			if g != 0 {
+				t.Errorf("x=%v: C(x-xp) != 0", x)
+			}
+		}
+	}
+	if count == 0 {
+		t.Fatal("no feasible solutions found")
+	}
+}
+
+func TestNullspaceZeroMatrix(t *testing.T) {
+	m := NewIntMat(2, 3)
+	basis := Nullspace(m)
+	if len(basis) != 3 {
+		t.Errorf("nullspace of zero 2x3 should have dim 3, got %d", len(basis))
+	}
+}
+
+func TestNullspaceFullRank(t *testing.T) {
+	m := FromRows([][]int64{{1, 0}, {0, 1}})
+	if basis := Nullspace(m); len(basis) != 0 {
+		t.Errorf("identity has trivial nullspace, got %d vectors", len(basis))
+	}
+}
+
+func TestNullspaceRational(t *testing.T) {
+	// Non-TU matrix: entries forcing rational elimination. 2x + 3y = 0 has
+	// primitive kernel vector (3, -2) (or its negation).
+	m := FromRows([][]int64{{2, 3}})
+	basis := Nullspace(m)
+	if len(basis) != 1 {
+		t.Fatalf("dim = %d", len(basis))
+	}
+	u := basis[0]
+	if !((u[0] == 3 && u[1] == -2) || (u[0] == -3 && u[1] == 2)) {
+		t.Errorf("primitive kernel = %v, want ±(3,-2)", u)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]int64{{1, 2, 3}, {-1, 0, 1}})
+	got := m.MulVecInt([]int64{1, 1, 1})
+	if got[0] != 6 || got[1] != 0 {
+		t.Errorf("MulVecInt = %v", got)
+	}
+	got2 := m.MulVecBits([]int{1, 0, 1})
+	if got2[0] != 4 || got2[1] != 0 {
+		t.Errorf("MulVecBits = %v", got2)
+	}
+}
+
+func TestSatisfiesEq(t *testing.T) {
+	C := paperC()
+	b := []int64{0, 1}
+	if !C.SatisfiesEq([]int{0, 0, 0, 1, 0}, b) {
+		t.Error("known feasible solution rejected")
+	}
+	if C.SatisfiesEq([]int{1, 1, 1, 1, 1}, b) {
+		t.Error("infeasible solution accepted")
+	}
+}
+
+func TestRankRandomConsistency(t *testing.T) {
+	// Property: rank + nullity == cols.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(5), 1+rng.Intn(7)
+		m := NewIntMat(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = int64(rng.Intn(5) - 2)
+		}
+		return Rank(m)+len(Nullspace(m)) == cols
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNullspaceAlwaysInKernel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(4), 2+rng.Intn(6)
+		m := NewIntMat(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = int64(rng.Intn(7) - 3)
+		}
+		return NullityCheck(m, Nullspace(m)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTUHeuristic(t *testing.T) {
+	if !IsTotallyUnimodularHeuristic(paperC()) {
+		t.Error("paper example should pass TU heuristic")
+	}
+	bad := FromRows([][]int64{{2, 0}, {0, 1}})
+	if IsTotallyUnimodularHeuristic(bad) {
+		t.Error("entry 2 should fail TU heuristic")
+	}
+	bad2 := FromRows([][]int64{{1, 1}, {-1, 1}}) // det = 2
+	if IsTotallyUnimodularHeuristic(bad2) {
+		t.Error("2x2 minor of det 2 should fail TU heuristic")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := paperC()
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]int64{{1, 2}, {3}})
+}

@@ -1,0 +1,136 @@
+// Package metrics implements the evaluation metrics of Section 5.1: the
+// approximation ratio gap (ARG), the in-constraints rate, and latency
+// aggregation helpers used by the experiment harnesses.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ARG is the approximation ratio gap of Equation 9:
+// |(E_opt − E_real) / E_opt|, lower is better, 0 means the algorithm's
+// output matches the optimum exactly.
+func ARG(eOpt, eReal float64) float64 {
+	if eOpt == 0 {
+		// The benchmark generators guarantee E_opt ≠ 0; treat the
+		// degenerate case as an absolute gap to stay total.
+		return math.Abs(eReal)
+	}
+	return math.Abs((eOpt - eReal) / eOpt)
+}
+
+// Latency is a classical/quantum/compile training-time breakdown in
+// milliseconds (Figure 12).
+type Latency struct {
+	QuantumMS   float64
+	ClassicalMS float64
+	CompileMS   float64
+}
+
+// TotalMS returns the end-to-end latency.
+func (l Latency) TotalMS() float64 { return l.QuantumMS + l.ClassicalMS + l.CompileMS }
+
+// Add accumulates another breakdown.
+func (l Latency) Add(o Latency) Latency {
+	return Latency{
+		QuantumMS:   l.QuantumMS + o.QuantumMS,
+		ClassicalMS: l.ClassicalMS + o.ClassicalMS,
+		CompileMS:   l.CompileMS + o.CompileMS,
+	}
+}
+
+// Scale multiplies every component.
+func (l Latency) Scale(f float64) Latency {
+	return Latency{QuantumMS: l.QuantumMS * f, ClassicalMS: l.ClassicalMS * f, CompileMS: l.CompileMS * f}
+}
+
+// Summary aggregates a sample of scalar results.
+type Summary struct {
+	N                     int
+	Mean, Std, Min, Max   float64
+	Median, P25, P75, P99 float64
+}
+
+// Summarize computes sample statistics; it returns a zero Summary for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	varSum := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		varSum += d * d
+	}
+	s.Std = math.Sqrt(varSum / float64(len(xs)))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = quantile(sorted, 0.5)
+	s.P25 = quantile(sorted, 0.25)
+	s.P75 = quantile(sorted, 0.75)
+	s.P99 = quantile(sorted, 0.99)
+	return s
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// FractionBelow returns the share of the sample that is ≤ thresh — used
+// by the Figure 14 "more than 99% of ARGs below 0.025" style claims.
+func FractionBelow(xs []float64, thresh float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x <= thresh {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Improvement returns how many times better (lower) b is than a, the
+// "N×" headline style of the paper. It guards division by zero.
+func Improvement(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return a / b
+}
+
+// FormatX renders an improvement factor like the paper ("4.12×").
+func FormatX(f float64) string {
+	if math.IsInf(f, 1) {
+		return "∞×"
+	}
+	return fmt.Sprintf("%.2f×", f)
+}

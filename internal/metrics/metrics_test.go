@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestARG(t *testing.T) {
+	if ARG(10, 10) != 0 {
+		t.Error("exact optimum should give ARG 0")
+	}
+	if got := ARG(10, 15); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("ARG = %v, want 0.5", got)
+	}
+	// Sign-insensitive.
+	if got := ARG(10, 5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("ARG = %v, want 0.5", got)
+	}
+	if got := ARG(0, 3); got != 3 {
+		t.Errorf("degenerate E_opt handling: %v", got)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	l := Latency{QuantumMS: 1, ClassicalMS: 2, CompileMS: 4}
+	if l.TotalMS() != 7 {
+		t.Error("TotalMS wrong")
+	}
+	if l.Scale(2).QuantumMS != 2 {
+		t.Error("Scale wrong")
+	}
+	if l.Add(l).ClassicalMS != 4 {
+		t.Error("Add wrong")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("summary wrong: %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("std = %v", s.Std)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Error("empty sample mishandled")
+	}
+	one := Summarize([]float64{7})
+	if one.Median != 7 || one.P99 != 7 {
+		t.Error("singleton quantiles wrong")
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	xs := []float64{0.01, 0.02, 0.5, 1.0}
+	if got := FractionBelow(xs, 0.025); got != 0.5 {
+		t.Errorf("FractionBelow = %v", got)
+	}
+	if FractionBelow(nil, 1) != 0 {
+		t.Error("empty sample should give 0")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if Improvement(8, 2) != 4 {
+		t.Error("Improvement wrong")
+	}
+	if !math.IsInf(Improvement(3, 0), 1) {
+		t.Error("divide-by-zero not guarded")
+	}
+	if Improvement(0, 0) != 1 {
+		t.Error("0/0 should be 1")
+	}
+	if FormatX(4.119) != "4.12×" {
+		t.Errorf("FormatX = %s", FormatX(4.119))
+	}
+	if FormatX(math.Inf(1)) != "∞×" {
+		t.Error("FormatX inf wrong")
+	}
+}

@@ -1,0 +1,171 @@
+package optimize
+
+import "math"
+
+// Powell minimizes f with Powell's conjugate-direction method (the
+// direction-set ancestor of COBYLA, Powell 1964): cycle through a
+// direction set doing line minimizations, then replace the direction of
+// largest decrease with the cycle's net displacement. Derivative-free,
+// and often the strongest of the family on smooth low-dimensional
+// landscapes like evolution-time tuning.
+func Powell(f Objective, x0 []float64, opts Options) Result {
+	n := len(x0)
+	opts = opts.withDefaults(n)
+	bf := newBudgetFn(f, opts.MaxEvals)
+	if n == 0 {
+		v, _ := bf.call(nil)
+		return Result{X: nil, F: v, Evals: bf.evals}
+	}
+
+	// Direction set starts as the coordinate axes.
+	dirs := make([][]float64, n)
+	for i := range dirs {
+		dirs[i] = make([]float64, n)
+		dirs[i][i] = 1
+	}
+	x := append([]float64(nil), x0...)
+	fx, _ := bf.call(x)
+
+	iters := 0
+	for ; iters < opts.MaxIter && bf.evals < opts.MaxEvals; iters++ {
+		x0iter := append([]float64(nil), x...)
+		f0iter := fx
+		biggestDrop, dropIdx := 0.0, 0
+		for i, d := range dirs {
+			fBefore := fx
+			x, fx = lineMinimize(bf, x, d, opts.Step, fx)
+			if drop := fBefore - fx; drop > biggestDrop {
+				biggestDrop, dropIdx = drop, i
+			}
+		}
+		// Net displacement of the cycle.
+		disp := make([]float64, n)
+		norm := 0.0
+		for i := range disp {
+			disp[i] = x[i] - x0iter[i]
+			norm += disp[i] * disp[i]
+		}
+		if f0iter-fx < opts.TolF {
+			break
+		}
+		if norm < 1e-20 {
+			continue
+		}
+		// Powell's acceptance test for replacing a direction: probe the
+		// extrapolated point 2x − x0.
+		probe := make([]float64, n)
+		for i := range probe {
+			probe[i] = 2*x[i] - x0iter[i]
+		}
+		fProbe, ok := bf.call(probe)
+		if !ok {
+			break
+		}
+		if fProbe < f0iter {
+			t := 2 * (f0iter - 2*fx + fProbe) * sq(f0iter-fx-biggestDrop)
+			t -= biggestDrop * sq(f0iter-fProbe)
+			if t < 0 {
+				x, fx = lineMinimize(bf, x, disp, opts.Step, fx)
+				dirs[dropIdx] = disp
+			}
+		}
+	}
+	return Result{X: bf.bestX, F: bf.bestF, Evals: bf.evals, Iters: iters}
+}
+
+func sq(v float64) float64 { return v * v }
+
+// lineMinimize performs a derivative-free line search from x along d:
+// bracket by step doubling in the downhill direction, then golden-section
+// refine. It returns the new point and value.
+func lineMinimize(bf *budgetFn, x, d []float64, step float64, fx float64) ([]float64, float64) {
+	at := func(t float64) []float64 {
+		out := make([]float64, len(x))
+		for i := range out {
+			out[i] = x[i] + t*d[i]
+		}
+		return out
+	}
+	// Pick the downhill direction.
+	fPlus, ok := bf.call(at(step))
+	if !ok {
+		return x, fx
+	}
+	dir := 1.0
+	fBest, tBest := fx, 0.0
+	if fPlus < fx {
+		fBest, tBest = fPlus, step
+	} else {
+		fMinus, ok := bf.call(at(-step))
+		if !ok {
+			return x, fx
+		}
+		if fMinus < fx {
+			dir = -1
+			fBest, tBest = fMinus, -step
+		} else {
+			// Bracketed already: refine inside [-step, step].
+			lo, hi := -step, step
+			return goldenRefine(bf, at, lo, hi, x, fx)
+		}
+	}
+	// Double until the function turns up (or budget ends).
+	t := tBest
+	for i := 0; i < 20; i++ {
+		t2 := t + dir*step*math.Pow(2, float64(i))
+		fNext, ok := bf.call(at(t2))
+		if !ok {
+			break
+		}
+		if fNext >= fBest {
+			lo, hi := math.Min(tBest-dir*step, t2), math.Max(tBest-dir*step, t2)
+			return goldenRefine(bf, at, lo, hi, x, fx)
+		}
+		fBest, tBest, t = fNext, t2, t2
+	}
+	return at(tBest), fBest
+}
+
+// goldenRefine shrinks [lo, hi] by golden-section search for a fixed
+// number of rounds and returns the best point found (falling back to the
+// incoming point when nothing improves).
+func goldenRefine(bf *budgetFn, at func(float64) []float64, lo, hi float64, x []float64, fx float64) ([]float64, float64) {
+	const phi = 0.6180339887498949
+	bestX, bestF := x, fx
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, okc := bf.call(at(c))
+	fd, okd := bf.call(at(d))
+	if !okc || !okd {
+		return bestX, bestF
+	}
+	for i := 0; i < 12; i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			var ok bool
+			fc, ok = bf.call(at(c))
+			if !ok {
+				break
+			}
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			var ok bool
+			fd, ok = bf.call(at(d))
+			if !ok {
+				break
+			}
+		}
+	}
+	mid := (a + b) / 2
+	fMid, ok := bf.call(at(mid))
+	if ok && fMid < bestF {
+		return at(mid), fMid
+	}
+	if fc < bestF {
+		return at(c), fc
+	}
+	return bestX, bestF
+}

@@ -1,0 +1,267 @@
+package problems
+
+import (
+	"fmt"
+
+	"rasengan/internal/bitvec"
+	"rasengan/internal/linalg"
+)
+
+// Builder assembles a constrained binary optimization Problem from an
+// objective and mixed equality/inequality constraints. Inequalities are
+// converted to equalities with *unary* binary slack variables (one +1/−1
+// column per slack unit), the transformation Section 2.1 of the paper
+// prescribes: unary slacks keep every constraint coefficient in
+// {-1, 0, 1}, which is what lets the homogeneous basis stay ternary and
+// the transition Hamiltonians well-formed.
+type Builder struct {
+	n     int
+	sense Sense
+	obj   QuadObjective
+	rows  []builderRow
+	init  *bitvec.Vec
+	name  string
+}
+
+type builderRow struct {
+	coefs map[int]int64
+	op    string // "=", "<=", ">="
+	rhs   int64
+}
+
+// MaxSlackPerConstraint caps the unary slack expansion of one inequality;
+// wider ranges indicate the formulation should be rescaled.
+const MaxSlackPerConstraint = 64
+
+// NewBuilder starts a builder over numVars decision variables with a
+// minimization objective.
+func NewBuilder(name string, numVars int) *Builder {
+	if numVars < 1 {
+		panic(fmt.Sprintf("problems: builder needs ≥1 variable, got %d", numVars))
+	}
+	return &Builder{n: numVars, sense: Minimize, obj: NewQuadObjective(numVars), name: name}
+}
+
+// Minimize sets the objective sense to minimization (the default).
+func (b *Builder) Minimize() *Builder { b.sense = Minimize; return b }
+
+// Maximize sets the objective sense to maximization.
+func (b *Builder) Maximize() *Builder { b.sense = Maximize; return b }
+
+// Constant adds a constant term to the objective.
+func (b *Builder) Constant(c float64) *Builder { b.obj.Constant += c; return b }
+
+// Linear adds c·x_i to the objective.
+func (b *Builder) Linear(i int, c float64) *Builder {
+	b.checkVar(i)
+	b.obj.Linear[i] += c
+	return b
+}
+
+// Quad adds c·x_i·x_j to the objective.
+func (b *Builder) Quad(i, j int, c float64) *Builder {
+	b.checkVar(i)
+	b.checkVar(j)
+	b.obj.AddQuad(i, j, c)
+	return b
+}
+
+// Eq adds the equality constraint Σ coefs[i]·x_i = rhs.
+func (b *Builder) Eq(coefs map[int]int64, rhs int64) *Builder {
+	return b.addRow(coefs, "=", rhs)
+}
+
+// Le adds the inequality Σ coefs[i]·x_i ≤ rhs.
+func (b *Builder) Le(coefs map[int]int64, rhs int64) *Builder {
+	return b.addRow(coefs, "<=", rhs)
+}
+
+// Ge adds the inequality Σ coefs[i]·x_i ≥ rhs.
+func (b *Builder) Ge(coefs map[int]int64, rhs int64) *Builder {
+	return b.addRow(coefs, ">=", rhs)
+}
+
+// Init fixes the feasible seed solution over the decision variables; the
+// builder extends it with consistent slack values. Without it, Build
+// searches for a feasible solution by constrained enumeration.
+func (b *Builder) Init(x bitvec.Vec) *Builder {
+	if x.Len() != b.n {
+		panic(fmt.Sprintf("problems: init of %d bits for %d variables", x.Len(), b.n))
+	}
+	c := x
+	b.init = &c
+	return b
+}
+
+func (b *Builder) addRow(coefs map[int]int64, op string, rhs int64) *Builder {
+	cp := make(map[int]int64, len(coefs))
+	for i, c := range coefs {
+		b.checkVar(i)
+		if c != 0 {
+			cp[i] = c
+		}
+	}
+	b.rows = append(b.rows, builderRow{coefs: cp, op: op, rhs: rhs})
+	return b
+}
+
+func (b *Builder) checkVar(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("problems: variable %d out of range [0,%d)", i, b.n))
+	}
+}
+
+// Build converts the accumulated specification into a Problem: every
+// inequality gains its unary slack block, the objective is zero-padded
+// over the slack columns, and the seed solution is completed (or found).
+func (b *Builder) Build() (*Problem, error) {
+	// Slack sizing: for ≤, Σa·x + Σs = rhs needs rhs − minΣ slack units;
+	// for ≥, Σa·x − Σs = rhs needs maxΣ − rhs units.
+	type slackBlock struct {
+		row   int
+		count int64
+		sign  int64
+	}
+	var blocks []slackBlock
+	totalSlack := int64(0)
+	for r, row := range b.rows {
+		var minSum, maxSum int64
+		for _, c := range row.coefs {
+			if c > 0 {
+				maxSum += c
+			} else {
+				minSum += c
+			}
+		}
+		switch row.op {
+		case "=":
+			if row.rhs < minSum || row.rhs > maxSum {
+				return nil, fmt.Errorf("problems: %s: constraint %d is infeasible (rhs %d outside [%d,%d])", b.name, r, row.rhs, minSum, maxSum)
+			}
+		case "<=":
+			if row.rhs < minSum {
+				return nil, fmt.Errorf("problems: %s: constraint %d unsatisfiable (rhs %d < min %d)", b.name, r, row.rhs, minSum)
+			}
+			count := row.rhs - minSum
+			if count > MaxSlackPerConstraint {
+				return nil, fmt.Errorf("problems: %s: constraint %d needs %d unary slacks (cap %d); rescale the formulation", b.name, r, count, MaxSlackPerConstraint)
+			}
+			if count > 0 {
+				blocks = append(blocks, slackBlock{row: r, count: count, sign: 1})
+				totalSlack += count
+			}
+		case ">=":
+			if row.rhs > maxSum {
+				return nil, fmt.Errorf("problems: %s: constraint %d unsatisfiable (rhs %d > max %d)", b.name, r, row.rhs, maxSum)
+			}
+			count := maxSum - row.rhs
+			if count > MaxSlackPerConstraint {
+				return nil, fmt.Errorf("problems: %s: constraint %d needs %d unary slacks (cap %d); rescale the formulation", b.name, r, count, MaxSlackPerConstraint)
+			}
+			if count > 0 {
+				blocks = append(blocks, slackBlock{row: r, count: count, sign: -1})
+				totalSlack += count
+			}
+		default:
+			return nil, fmt.Errorf("problems: %s: unknown op %q", b.name, row.op)
+		}
+	}
+
+	n := b.n + int(totalSlack)
+	if n > bitvec.MaxBits {
+		return nil, fmt.Errorf("problems: %s: %d variables after slack expansion exceeds %d", b.name, n, bitvec.MaxBits)
+	}
+	C := linalg.NewIntMat(len(b.rows), n)
+	rhs := make([]int64, len(b.rows))
+	for r, row := range b.rows {
+		for i, c := range row.coefs {
+			C.Set(r, i, c)
+		}
+		rhs[r] = row.rhs
+	}
+	col := b.n
+	slackCols := map[int][2]int{} // row -> [firstCol, count]
+	for _, blk := range blocks {
+		slackCols[blk.row] = [2]int{col, int(blk.count)}
+		for k := int64(0); k < blk.count; k++ {
+			// ≤ rows get +1 slack columns (fill up to rhs); ≥ rows −1.
+			C.Set(blk.row, col, blk.sign)
+			col++
+		}
+	}
+
+	obj := NewQuadObjective(n)
+	obj.Constant = b.obj.Constant
+	copy(obj.Linear, b.obj.Linear)
+	obj.Quad = append([]QuadTerm(nil), b.obj.Quad...)
+
+	p := &Problem{
+		Name:   b.name,
+		Family: "CUSTOM",
+		N:      n,
+		Sense:  b.sense,
+		Obj:    obj,
+		C:      C,
+		B:      rhs,
+		Meta:   map[string]int{"decision_vars": b.n, "slack_vars": int(totalSlack)},
+	}
+
+	init, err := b.completeInit(p, slackCols)
+	if err != nil {
+		return nil, err
+	}
+	p.Init = init
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// completeInit extends the user seed with consistent slack values, or
+// searches for any feasible solution when no seed was given.
+func (b *Builder) completeInit(p *Problem, slackCols map[int][2]int) (bitvec.Vec, error) {
+	if b.init == nil {
+		feas := EnumerateFeasible(p, 1)
+		if len(feas) == 0 {
+			return bitvec.Vec{}, fmt.Errorf("problems: %s: no feasible solution exists", b.name)
+		}
+		return feas[0], nil
+	}
+	out := bitvec.New(p.N)
+	for i := 0; i < b.n; i++ {
+		out.Set(i, b.init.Bit(i))
+	}
+	for r, row := range b.rows {
+		var sum int64
+		for i, c := range row.coefs {
+			if b.init.Bit(i) {
+				sum += c
+			}
+		}
+		switch row.op {
+		case "=":
+			if sum != row.rhs {
+				return bitvec.Vec{}, fmt.Errorf("problems: %s: init violates equality constraint %d (%d != %d)", b.name, r, sum, row.rhs)
+			}
+		case "<=":
+			gap := row.rhs - sum
+			sc := slackCols[r]
+			if gap < 0 || gap > int64(sc[1]) {
+				return bitvec.Vec{}, fmt.Errorf("problems: %s: init violates ≤ constraint %d", b.name, r)
+			}
+			for k := int64(0); k < gap; k++ {
+				out.Set(sc[0]+int(k), true)
+			}
+		case ">=":
+			gap := sum - row.rhs
+			sc := slackCols[r]
+			if gap < 0 || gap > int64(sc[1]) {
+				return bitvec.Vec{}, fmt.Errorf("problems: %s: init violates ≥ constraint %d", b.name, r)
+			}
+			for k := int64(0); k < gap; k++ {
+				out.Set(sc[0]+int(k), true)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,181 @@
+package problems
+
+import (
+	"strings"
+	"testing"
+
+	"rasengan/internal/bitvec"
+)
+
+func TestBuilderEqualityOnly(t *testing.T) {
+	// min x0 + 2x1 + 3x2  s.t. x0 + x1 + x2 = 2
+	p, err := NewBuilder("eq", 3).
+		Linear(0, 1).Linear(1, 2).Linear(2, 3).
+		Eq(map[int]int64{0: 1, 1: 1, 2: 1}, 2).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 3 {
+		t.Errorf("no slacks expected, n = %d", p.N)
+	}
+	ref, err := ExactReference(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Opt != 3 { // x0=1, x1=1
+		t.Errorf("optimum = %v, want 3", ref.Opt)
+	}
+}
+
+func TestBuilderLeConstraint(t *testing.T) {
+	// max x0 + x1 + x2  s.t. x0 + x1 + x2 ≤ 2 → needs 2 unary slacks.
+	p, err := NewBuilder("le", 3).Maximize().
+		Linear(0, 1).Linear(1, 1).Linear(2, 1).
+		Le(map[int]int64{0: 1, 1: 1, 2: 1}, 2).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 5 {
+		t.Errorf("n = %d, want 3 decision + 2 slack", p.N)
+	}
+	ref, err := ExactReference(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Opt != 2 {
+		t.Errorf("optimum = %v, want 2", ref.Opt)
+	}
+	// All feasible decision parts must satisfy the inequality.
+	for _, x := range EnumerateFeasible(p, 0) {
+		count := x.BitInt(0) + x.BitInt(1) + x.BitInt(2)
+		if count > 2 {
+			t.Errorf("feasible state violates ≤: %v", x)
+		}
+	}
+}
+
+func TestBuilderGeConstraint(t *testing.T) {
+	// min x0 + 2x1  s.t. x0 + x1 ≥ 1.
+	p, err := NewBuilder("ge", 2).
+		Linear(0, 1).Linear(1, 2).
+		Ge(map[int]int64{0: 1, 1: 1}, 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ExactReference(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Opt != 1 { // x0 alone
+		t.Errorf("optimum = %v, want 1", ref.Opt)
+	}
+	if p.Meta["slack_vars"] != 1 {
+		t.Errorf("slack vars = %d, want 1", p.Meta["slack_vars"])
+	}
+}
+
+func TestBuilderInitCompletion(t *testing.T) {
+	p, err := NewBuilder("seeded", 3).
+		Linear(0, 1).Linear(1, 1).Linear(2, 1).
+		Le(map[int]int64{0: 1, 1: 1, 2: 1}, 2).
+		Init(bitvec.MustFromString("100")).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Feasible(p.Init) {
+		t.Error("completed init infeasible")
+	}
+	// Decision bits preserved.
+	if !p.Init.Bit(0) || p.Init.Bit(1) || p.Init.Bit(2) {
+		t.Error("init decision bits altered")
+	}
+}
+
+func TestBuilderInitViolation(t *testing.T) {
+	_, err := NewBuilder("bad-init", 2).
+		Eq(map[int]int64{0: 1, 1: 1}, 1).
+		Init(bitvec.MustFromString("11")).
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "violates") {
+		t.Errorf("violating init accepted: %v", err)
+	}
+}
+
+func TestBuilderInfeasibleConstraint(t *testing.T) {
+	_, err := NewBuilder("impossible", 2).
+		Eq(map[int]int64{0: 1, 1: 1}, 5).
+		Build()
+	if err == nil {
+		t.Error("impossible equality accepted")
+	}
+	_, err = NewBuilder("impossible-ge", 2).
+		Ge(map[int]int64{0: 1, 1: 1}, 3).
+		Build()
+	if err == nil {
+		t.Error("impossible ≥ accepted")
+	}
+}
+
+func TestBuilderSlackCap(t *testing.T) {
+	coefs := map[int]int64{}
+	b := NewBuilder("wide", 100)
+	for i := 0; i < 100; i++ {
+		coefs[i] = 1
+	}
+	_, err := b.Le(coefs, 90).Build()
+	if err == nil || !strings.Contains(err.Error(), "unary slacks") {
+		t.Errorf("slack cap not enforced: %v", err)
+	}
+}
+
+func TestBuilderQuadObjective(t *testing.T) {
+	// min −x0·x1  s.t. x0 + x1 ≤ 2: optimum picks both.
+	p, err := NewBuilder("quad", 2).
+		Quad(0, 1, -1).Constant(1).
+		Le(map[int]int64{0: 1, 1: 1}, 2).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ExactReference(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Opt != 0 {
+		t.Errorf("optimum = %v, want 0", ref.Opt)
+	}
+}
+
+func TestBuilderMixedConstraints(t *testing.T) {
+	// Knapsack-like: max value s.t. weight ≤ 3 and at least one item.
+	p, err := NewBuilder("knapsack", 3).Maximize().
+		Linear(0, 4).Linear(1, 3).Linear(2, 5).
+		Le(map[int]int64{0: 1, 1: 1, 2: 2}, 3).
+		Ge(map[int]int64{0: 1, 1: 1, 2: 1}, 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ExactReference(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best: items 0 and 1 (weight 2 ≤ 3, value 7); item 2 alone gives 5,
+	// items 0+2 weigh 3 and give 9.
+	if ref.Opt != 9 {
+		t.Errorf("optimum = %v, want 9", ref.Opt)
+	}
+}
+
+func TestBuilderVariableRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range variable accepted")
+		}
+	}()
+	NewBuilder("oops", 2).Linear(5, 1)
+}

@@ -1,0 +1,199 @@
+package problems
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rasengan/internal/bitvec"
+	"rasengan/internal/linalg"
+)
+
+// FLPConfig shapes a facility location instance: D demands must each be
+// assigned to exactly one of F facilities; an assignment to facility j is
+// only allowed when j is open. Opening facility j costs OpenCost[j] and
+// assigning demand i to j costs AssignCost[i][j]; both are minimized.
+//
+// Variable layout (n = F + 2·D·F):
+//
+//	y_j           index j                      facility j open
+//	x_{i,j}       index F + i·F + j            demand i assigned to j
+//	s_{i,j}       index F + D·F + i·F + j      slack of x_{i,j} ≤ y_j
+//
+// Constraints:
+//
+//	Σ_j x_{i,j} = 1                 for each demand i
+//	x_{i,j} − y_j + s_{i,j} = 0     for each pair (i,j)
+type FLPConfig struct {
+	Demands    int
+	Facilities int
+}
+
+// GenerateFLP builds a seeded facility location instance.
+func GenerateFLP(cfg FLPConfig, seed int64) *Problem {
+	if cfg.Demands < 1 || cfg.Facilities < 1 {
+		panic(fmt.Sprintf("problems: invalid FLP config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	D, F := cfg.Demands, cfg.Facilities
+	n := F + 2*D*F
+	yIdx := func(j int) int { return j }
+	xIdx := func(i, j int) int { return F + i*F + j }
+	sIdx := func(i, j int) int { return F + D*F + i*F + j }
+
+	obj := NewQuadObjective(n)
+	for j := 0; j < F; j++ {
+		obj.Linear[yIdx(j)] = float64(2 + rng.Intn(6)) // opening cost 2..7
+	}
+	for i := 0; i < D; i++ {
+		for j := 0; j < F; j++ {
+			obj.Linear[xIdx(i, j)] = float64(1 + rng.Intn(9)) // assignment cost 1..9
+		}
+	}
+
+	rows := D + D*F
+	C := linalg.NewIntMat(rows, n)
+	b := make([]int64, rows)
+	r := 0
+	for i := 0; i < D; i++ {
+		for j := 0; j < F; j++ {
+			C.Set(r, xIdx(i, j), 1)
+		}
+		b[r] = 1
+		r++
+	}
+	for i := 0; i < D; i++ {
+		for j := 0; j < F; j++ {
+			C.Set(r, xIdx(i, j), 1)
+			C.Set(r, yIdx(j), -1)
+			C.Set(r, sIdx(i, j), 1)
+			b[r] = 0
+			r++
+		}
+	}
+
+	// Linear-time feasible seed: open facility 0, assign everything to it.
+	init := bitvec.New(n)
+	init.Set(yIdx(0), true)
+	for i := 0; i < D; i++ {
+		init.Set(xIdx(i, 0), true)
+	}
+	// Slacks: s_{i,j} = y_j − x_{i,j}; only facility 0 is open and it serves
+	// every demand, so all slacks stay 0.
+
+	p := &Problem{
+		Name:   fmt.Sprintf("FLP(d=%d,f=%d,seed=%d)", D, F, seed),
+		Family: "FLP",
+		N:      n,
+		Sense:  Minimize,
+		Obj:    obj,
+		C:      C,
+		B:      b,
+		Init:   init,
+		Meta:   map[string]int{"demands": D, "facilities": F},
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// FLPReference computes the exact reference for a facility location
+// instance by enumerating facility subsets (2^F − 1 of them) and
+// assigning every demand to its cheapest open facility — polynomial in
+// demands, exponential only in the (small) facility count, so it scales
+// to the 105-variable instances of the Figure 10 study where exhaustive
+// 2^n enumeration cannot.
+func FLPReference(p *Problem) (Reference, error) {
+	if p.Family != "FLP" {
+		return Reference{}, fmt.Errorf("problems: FLPReference on %s instance", p.Family)
+	}
+	D, F := p.Meta["demands"], p.Meta["facilities"]
+	yIdx := func(j int) int { return j }
+	xIdx := func(i, j int) int { return F + i*F + j }
+	sIdx := func(i, j int) int { return F + D*F + i*F + j }
+
+	var ref Reference
+	found := false
+	for mask := 1; mask < 1<<uint(F); mask++ {
+		cost := 0.0
+		sol := bitvec.New(p.N)
+		for j := 0; j < F; j++ {
+			if mask>>uint(j)&1 == 1 {
+				cost += p.Obj.Linear[yIdx(j)]
+				sol.Set(yIdx(j), true)
+			}
+		}
+		for i := 0; i < D; i++ {
+			bestJ, bestC := -1, 0.0
+			for j := 0; j < F; j++ {
+				if mask>>uint(j)&1 == 0 {
+					continue
+				}
+				c := p.Obj.Linear[xIdx(i, j)]
+				if bestJ == -1 || c < bestC {
+					bestJ, bestC = j, c
+				}
+			}
+			cost += bestC
+			sol.Set(xIdx(i, bestJ), true)
+		}
+		// Fill slacks: s_{i,j} = y_j − x_{i,j}.
+		for i := 0; i < D; i++ {
+			for j := 0; j < F; j++ {
+				if sol.Bit(yIdx(j)) && !sol.Bit(xIdx(i, j)) {
+					sol.Set(sIdx(i, j), true)
+				}
+			}
+		}
+		if !found || cost < ref.Opt {
+			ref.Opt = cost
+			ref.OptSolution = sol
+			found = true
+		}
+	}
+	if !found {
+		return Reference{}, fmt.Errorf("problems: %s: no facility subset", p.Name)
+	}
+	if !p.Feasible(ref.OptSolution) {
+		return Reference{}, fmt.Errorf("problems: %s: FLP reference solution infeasible", p.Name)
+	}
+	return ref, nil
+}
+
+// flpScales matches the four benchmark scales F1–F4 of Table 2.
+var flpScales = []FLPConfig{
+	{Demands: 1, Facilities: 2}, // F1: 6 vars
+	{Demands: 2, Facilities: 2}, // F2: 10 vars
+	{Demands: 2, Facilities: 3}, // F3: 15 vars
+	{Demands: 3, Facilities: 3}, // F4: 21 vars
+}
+
+// FLP returns the scale-s benchmark instance (s in 1..4) for the given case
+// index, mirroring the paper's F1–F4 naming.
+func FLP(scale int, caseIdx int) *Problem {
+	cfg := scaleConfig(flpScales, scale, "FLP")
+	p := GenerateFLP(cfg, caseSeed("FLP", scale, caseIdx))
+	p.Name = fmt.Sprintf("F%d/case%d", scale, caseIdx)
+	return p
+}
+
+func scaleConfig[T any](scales []T, scale int, family string) T {
+	if scale < 1 || scale > len(scales) {
+		panic(fmt.Sprintf("problems: %s scale %d out of range 1..%d", family, scale, len(scales)))
+	}
+	return scales[scale-1]
+}
+
+// caseSeed derives a deterministic seed per (family, scale, case).
+func caseSeed(family string, scale, caseIdx int) int64 {
+	h := int64(1469598103934665603)
+	for _, c := range family {
+		h = (h ^ int64(c)) * 1099511628211
+	}
+	h = (h ^ int64(scale)) * 1099511628211
+	h = (h ^ int64(caseIdx)) * 1099511628211
+	if h < 0 {
+		h = -h
+	}
+	return h
+}

@@ -1,0 +1,173 @@
+package problems
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rasengan/internal/bitvec"
+	"rasengan/internal/linalg"
+)
+
+// GCPConfig shapes a graph coloring instance: Vertices vertices of a random
+// graph each get exactly one of K colors; adjacent vertices must differ.
+// The objective is a linear color-preference cost Σ cost(v,c)·x_{v,c}
+// (e.g. register or frequency preferences), minimized.
+//
+// Variable layout: x_{v,c} at index v·K + c, followed by one slack variable
+// per (edge, color) pair for the exclusion constraints.
+//
+// Constraints:
+//
+//	Σ_c x_{v,c} = 1                        for each vertex v
+//	x_{u,c} + x_{v,c} + s_{uv,c} = 1       for each edge (u,v), color c
+//
+// The second form is the exact equality version of x_{u,c}+x_{v,c} ≤ 1:
+// the slack is forced to 1 when neither endpoint uses color c and to 0
+// when exactly one does, and both endpoints using c is infeasible.
+type GCPConfig struct {
+	Vertices int
+	K        int
+	Edges    int
+}
+
+// GenerateGCP builds a seeded graph coloring instance. The generator
+// retries graph sampling until greedy coloring succeeds with K colors, so
+// the O(g) initializer of Section 5.1 always exists.
+func GenerateGCP(cfg GCPConfig, seed int64) *Problem {
+	if cfg.Vertices < 2 || cfg.K < 2 {
+		panic(fmt.Sprintf("problems: invalid GCP config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	V, K := cfg.Vertices, cfg.K
+	maxEdges := V * (V - 1) / 2
+	wantEdges := cfg.Edges
+	if wantEdges <= 0 || wantEdges > maxEdges {
+		wantEdges = maxEdges / 2
+		if wantEdges == 0 {
+			wantEdges = 1
+		}
+	}
+
+	type edge struct{ u, v int }
+	var edges []edge
+	var greedy []int
+	for attempt := 0; ; attempt++ {
+		if attempt > 1000 {
+			panic(fmt.Sprintf("problems: GCP %+v not greedy-%d-colorable after 1000 attempts", cfg, K))
+		}
+		edges = edges[:0]
+		all := make([]edge, 0, maxEdges)
+		for u := 0; u < V; u++ {
+			for v := u + 1; v < V; v++ {
+				all = append(all, edge{u, v})
+			}
+		}
+		rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+		edges = append(edges, all[:wantEdges]...)
+
+		// Greedy coloring in vertex order.
+		adj := make([][]int, V)
+		for _, e := range edges {
+			adj[e.u] = append(adj[e.u], e.v)
+			adj[e.v] = append(adj[e.v], e.u)
+		}
+		greedy = make([]int, V)
+		ok := true
+		for v := 0; v < V && ok; v++ {
+			used := make([]bool, K)
+			for _, w := range adj[v] {
+				if w < v {
+					used[greedy[w]] = true
+				}
+			}
+			greedy[v] = -1
+			for c := 0; c < K; c++ {
+				if !used[c] {
+					greedy[v] = c
+					break
+				}
+			}
+			if greedy[v] == -1 {
+				ok = false
+			}
+		}
+		if ok {
+			break
+		}
+	}
+
+	xIdx := func(v, c int) int { return v*K + c }
+	sBase := V * K
+	sIdx := func(ei, c int) int { return sBase + ei*K + c }
+	n := V*K + len(edges)*K
+
+	obj := NewQuadObjective(n)
+	for v := 0; v < V; v++ {
+		for c := 0; c < K; c++ {
+			obj.Linear[xIdx(v, c)] = float64(1 + rng.Intn(9))
+		}
+	}
+
+	rows := V + len(edges)*K
+	C := linalg.NewIntMat(rows, n)
+	b := make([]int64, rows)
+	for v := 0; v < V; v++ {
+		for c := 0; c < K; c++ {
+			C.Set(v, xIdx(v, c), 1)
+		}
+		b[v] = 1
+	}
+	r := V
+	for ei, e := range edges {
+		for c := 0; c < K; c++ {
+			C.Set(r, xIdx(e.u, c), 1)
+			C.Set(r, xIdx(e.v, c), 1)
+			C.Set(r, sIdx(ei, c), 1)
+			b[r] = 1
+			r++
+		}
+	}
+
+	init := bitvec.New(n)
+	for v := 0; v < V; v++ {
+		init.Set(xIdx(v, greedy[v]), true)
+	}
+	for ei, e := range edges {
+		for c := 0; c < K; c++ {
+			if greedy[e.u] != c && greedy[e.v] != c {
+				init.Set(sIdx(ei, c), true)
+			}
+		}
+	}
+
+	p := &Problem{
+		Name:   fmt.Sprintf("GCP(v=%d,k=%d,e=%d,seed=%d)", V, K, len(edges), seed),
+		Family: "GCP",
+		N:      n,
+		Sense:  Minimize,
+		Obj:    obj,
+		C:      C,
+		B:      b,
+		Init:   init,
+		Meta:   map[string]int{"vertices": V, "k": K, "edges": len(edges)},
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+var gcpScales = []GCPConfig{
+	{Vertices: 3, K: 2, Edges: 2}, // G1: 10 vars
+	{Vertices: 4, K: 2, Edges: 3}, // G2: 14 vars
+	{Vertices: 3, K: 3, Edges: 3}, // G3: 18 vars
+	{Vertices: 4, K: 3, Edges: 4}, // G4: 24 vars (the paper's 24-variable GCP)
+}
+
+// GCP returns the scale-s benchmark instance (G1–G4 of Table 2).
+func GCP(scale int, caseIdx int) *Problem {
+	cfg := scaleConfig(gcpScales, scale, "GCP")
+	p := GenerateGCP(cfg, caseSeed("GCP", scale, caseIdx))
+	p.Name = fmt.Sprintf("G%d/case%d", scale, caseIdx)
+	return p
+}

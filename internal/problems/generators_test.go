@@ -1,0 +1,238 @@
+package problems
+
+import (
+	"testing"
+
+	"rasengan/internal/linalg"
+)
+
+// TestSuiteInstancesValid exercises every benchmark of Table 2: each case
+// must validate, have a feasible seed, a nontrivial homogeneous basis, and
+// (for instances small enough to enumerate) at least two feasible
+// solutions so there is something to optimize.
+func TestSuiteInstancesValid(t *testing.T) {
+	for _, b := range Suite() {
+		for c := 0; c < 3; c++ {
+			p := b.Generate(c)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+			basis := p.HomogeneousBasis()
+			if len(basis) == 0 {
+				t.Errorf("%s: empty homogeneous basis", p.Name)
+			}
+			if err := linalg.NullityCheck(p.C, basis); err != nil {
+				t.Errorf("%s: %v", p.Name, err)
+			}
+			if p.N <= 20 {
+				ref, err := ExactReference(p)
+				if err != nil {
+					t.Fatalf("%s: %v", p.Name, err)
+				}
+				if ref.NumFeasible < 2 {
+					t.Errorf("%s: only %d feasible solutions", p.Name, ref.NumFeasible)
+				}
+				if ref.Opt == 0 {
+					t.Errorf("%s: E_opt = 0 breaks ARG", p.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestBFSCoversFeasibleSpace verifies Theorem 1's premise on the concrete
+// suite: the homogeneous-basis BFS from the seed reaches exactly the
+// feasible set found by exhaustive enumeration. GCP at k ≥ 3 (scales 3–4)
+// is excluded here: its raw RREF basis contains ±2 slack entries, so
+// coverage requires the basis reconstruction of the core package
+// (Hamiltonian simplification + ternary circuit search), which has its own
+// coverage test.
+func TestBFSCoversFeasibleSpace(t *testing.T) {
+	for _, b := range Suite() {
+		if b.Family == "GCP" && b.Scale >= 3 {
+			continue
+		}
+		p := b.Generate(0)
+		if p.N > 18 {
+			continue // exhaustive side too slow; covered by smaller scales
+		}
+		enum := EnumerateFeasible(p, 0)
+		bfs := FeasibleBFS(p, p.HomogeneousBasis(), 0)
+		if len(enum) != len(bfs) {
+			t.Errorf("%s: BFS %d != enumeration %d", p.Name, len(bfs), len(enum))
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := FLP(2, 7)
+	b := FLP(2, 7)
+	if a.Name != b.Name || a.N != b.N {
+		t.Fatal("same case differs")
+	}
+	for i := range a.Obj.Linear {
+		if a.Obj.Linear[i] != b.Obj.Linear[i] {
+			t.Fatal("objective not deterministic")
+		}
+	}
+	c := FLP(2, 8)
+	same := true
+	for i := range a.Obj.Linear {
+		if a.Obj.Linear[i] != c.Obj.Linear[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different cases produced identical objectives")
+	}
+}
+
+func TestFLPShape(t *testing.T) {
+	p := FLP(1, 0)
+	if p.N != 6 {
+		t.Errorf("F1 has %d vars, want 6", p.N)
+	}
+	if p.NumConstraints() != 3 {
+		t.Errorf("F1 has %d constraints, want 3", p.NumConstraints())
+	}
+	p4 := FLP(4, 0)
+	if p4.N != 21 {
+		t.Errorf("F4 has %d vars, want 21", p4.N)
+	}
+}
+
+func TestKPPBalanced(t *testing.T) {
+	p := KPP(1, 0)
+	if p.N != 8 {
+		t.Errorf("K1 has %d vars, want 8", p.N)
+	}
+	// The init must respect the capacity rows.
+	if !p.Feasible(p.Init) {
+		t.Error("K1 init infeasible")
+	}
+	// In a balanced 4/2 partition the optimum cut is positive for a
+	// connected graph.
+	ref, err := ExactReference(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Opt <= 0 {
+		t.Errorf("K1 optimum cut = %v, want > 0", ref.Opt)
+	}
+}
+
+func TestJSPObjectiveIsSquaredLoads(t *testing.T) {
+	p := GenerateJSP(JSPConfig{Jobs: 3, Machines: 2}, 42)
+	ref, err := ExactReference(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All on one machine is feasible but should score no better than the
+	// optimum (sanity of the balance objective).
+	allOnOne := p.Objective(p.Init)
+	if allOnOne < ref.Opt {
+		t.Errorf("init %v beats optimum %v", allOnOne, ref.Opt)
+	}
+}
+
+func TestSCPCoversEveryElement(t *testing.T) {
+	p := SCP(2, 0)
+	ref, err := ExactReference(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every feasible solution must select at least one set per element;
+	// the all-sets init is feasible by construction.
+	if !p.Feasible(p.Init) {
+		t.Error("all-sets init infeasible")
+	}
+	if ref.NumFeasible < 2 {
+		t.Error("SCP instance trivially constrained")
+	}
+}
+
+func TestGCPProperColoring(t *testing.T) {
+	p := GCP(1, 0)
+	V, K := p.Meta["vertices"], p.Meta["k"]
+	feas := EnumerateFeasible(p, 0)
+	for _, x := range feas {
+		// Reconstruct colors and check one-hot decode.
+		for v := 0; v < V; v++ {
+			ones := 0
+			for c := 0; c < K; c++ {
+				if x.Bit(v*K + c) {
+					ones++
+				}
+			}
+			if ones != 1 {
+				t.Fatalf("vertex %d has %d colors in feasible state", v, ones)
+			}
+		}
+	}
+}
+
+func TestGCPG4Is24Vars(t *testing.T) {
+	p := GCP(4, 0)
+	if p.N != 24 {
+		t.Errorf("G4 has %d vars, want 24 (paper's 24-variable GCP)", p.N)
+	}
+}
+
+func TestByLabel(t *testing.T) {
+	b, err := ByLabel("S3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Family != "SCP" || b.Scale != 3 {
+		t.Errorf("ByLabel(S3) = %+v", b)
+	}
+	if _, err := ByLabel("Z9"); err == nil {
+		t.Error("bogus label accepted")
+	}
+}
+
+func TestSuiteHas20Benchmarks(t *testing.T) {
+	if len(Suite()) != 20 {
+		t.Errorf("suite has %d benchmarks, want 20", len(Suite()))
+	}
+}
+
+func TestFLPReferenceMatchesExact(t *testing.T) {
+	for scale := 1; scale <= 3; scale++ {
+		p := FLP(scale, 0)
+		fast, err := FLPReference(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := ExactReference(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast.Opt != slow.Opt {
+			t.Errorf("F%d: FLPReference %v != exact %v", scale, fast.Opt, slow.Opt)
+		}
+	}
+}
+
+func TestFLPReferenceLargeInstance(t *testing.T) {
+	p := GenerateFLP(FLPConfig{Demands: 10, Facilities: 5}, 99) // 105 vars
+	if p.N != 105 {
+		t.Fatalf("unexpected size %d", p.N)
+	}
+	ref, err := FLPReference(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Opt <= 0 {
+		t.Error("large FLP optimum not positive")
+	}
+	if !p.Feasible(ref.OptSolution) {
+		t.Error("reference solution infeasible")
+	}
+}
+
+func TestFLPReferenceWrongFamily(t *testing.T) {
+	if _, err := FLPReference(JSP(1, 0)); err == nil {
+		t.Error("non-FLP instance accepted")
+	}
+}

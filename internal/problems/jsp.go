@@ -1,0 +1,98 @@
+package problems
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rasengan/internal/bitvec"
+	"rasengan/internal/linalg"
+)
+
+// JSPConfig shapes an identical-machines scheduling instance: Jobs jobs
+// with integer processing times are assigned to Machines identical
+// machines. The objective is the sum of squared machine loads, the standard
+// smooth QUBO proxy for makespan minimization: it is minimized exactly when
+// the loads are as balanced as the job sizes allow.
+//
+// Variable layout (n = Jobs·Machines): x_{j,m} at index j·Machines + m.
+//
+// Constraints: Σ_m x_{j,m} = 1 for every job j.
+type JSPConfig struct {
+	Jobs     int
+	Machines int
+}
+
+// GenerateJSP builds a seeded identical-machines scheduling instance.
+func GenerateJSP(cfg JSPConfig, seed int64) *Problem {
+	if cfg.Jobs < 1 || cfg.Machines < 2 {
+		panic(fmt.Sprintf("problems: invalid JSP config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	J, M := cfg.Jobs, cfg.Machines
+	n := J * M
+	xIdx := func(j, m int) int { return j*M + m }
+
+	times := make([]float64, J)
+	for j := range times {
+		times[j] = float64(1 + rng.Intn(5))
+	}
+
+	// Σ_m (Σ_j p_j x_{j,m})² = Σ_m [ Σ_j p_j² x_{j,m} + 2 Σ_{j<j'} p_j p_{j'} x_{j,m} x_{j',m} ]
+	obj := NewQuadObjective(n)
+	for m := 0; m < M; m++ {
+		for j := 0; j < J; j++ {
+			obj.Linear[xIdx(j, m)] += times[j] * times[j]
+			for j2 := j + 1; j2 < J; j2++ {
+				obj.AddQuad(xIdx(j, m), xIdx(j2, m), 2*times[j]*times[j2])
+			}
+		}
+	}
+	obj.Normalize()
+
+	C := linalg.NewIntMat(J, n)
+	b := make([]int64, J)
+	for j := 0; j < J; j++ {
+		for m := 0; m < M; m++ {
+			C.Set(j, xIdx(j, m), 1)
+		}
+		b[j] = 1
+	}
+
+	// Greedy O(j) initializer: every job on machine 0 (feasible; load
+	// balance is the objective's concern, not the constraints').
+	init := bitvec.New(n)
+	for j := 0; j < J; j++ {
+		init.Set(xIdx(j, 0), true)
+	}
+
+	p := &Problem{
+		Name:   fmt.Sprintf("JSP(j=%d,m=%d,seed=%d)", J, M, seed),
+		Family: "JSP",
+		N:      n,
+		Sense:  Minimize,
+		Obj:    obj,
+		C:      C,
+		B:      b,
+		Init:   init,
+		Meta:   map[string]int{"jobs": J, "machines": M},
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+var jspScales = []JSPConfig{
+	{Jobs: 3, Machines: 2}, // J1: 6 vars
+	{Jobs: 4, Machines: 2}, // J2: 8 vars
+	{Jobs: 5, Machines: 2}, // J3: 10 vars
+	{Jobs: 4, Machines: 3}, // J4: 12 vars
+}
+
+// JSP returns the scale-s benchmark instance (J1–J4 of Table 2).
+func JSP(scale int, caseIdx int) *Problem {
+	cfg := scaleConfig(jspScales, scale, "JSP")
+	p := GenerateJSP(cfg, caseSeed("JSP", scale, caseIdx))
+	p.Name = fmt.Sprintf("J%d/case%d", scale, caseIdx)
+	return p
+}

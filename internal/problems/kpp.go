@@ -1,0 +1,140 @@
+package problems
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rasengan/internal/bitvec"
+	"rasengan/internal/linalg"
+)
+
+// KPPConfig shapes a balanced k-partition (graph partitioning) instance:
+// Elements vertices of a weighted graph are split into K boxes with fixed
+// capacities; the total weight of edges crossing boxes is minimized.
+//
+// Variable layout (n = Elements·K): x_{i,c} at index i·K + c means element
+// i is placed in box c.
+//
+// Constraints:
+//
+//	Σ_c x_{i,c} = 1       for each element i   (one box per element)
+//	Σ_i x_{i,c} = cap_c   for each box c       (balanced capacities)
+//
+// The capacity rows span all elements, which is why KPP transition
+// Hamiltonians involve the most qubits of the benchmark suite (the
+// "application dependency" discussion of Section 5.2).
+type KPPConfig struct {
+	Elements int
+	K        int
+	EdgeProb float64 // density of the random weighted graph
+}
+
+// GenerateKPP builds a seeded k-partition instance.
+func GenerateKPP(cfg KPPConfig, seed int64) *Problem {
+	if cfg.Elements < 2 || cfg.K < 2 || cfg.Elements < cfg.K {
+		panic(fmt.Sprintf("problems: invalid KPP config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	E, K := cfg.Elements, cfg.K
+	n := E * K
+	xIdx := func(i, c int) int { return i*K + c }
+
+	// Balanced capacities: distribute E over K boxes as evenly as possible.
+	caps := make([]int64, K)
+	for i := 0; i < E; i++ {
+		caps[i%K]++
+	}
+
+	// Random weighted graph; guarantee a spanning path so the instance is
+	// connected and the optimum cut is strictly positive.
+	type edge struct {
+		u, v int
+		w    float64
+	}
+	var edges []edge
+	for i := 1; i < E; i++ {
+		edges = append(edges, edge{i - 1, i, float64(1 + rng.Intn(5))})
+	}
+	prob := cfg.EdgeProb
+	if prob == 0 {
+		prob = 0.4
+	}
+	for u := 0; u < E; u++ {
+		for v := u + 2; v < E; v++ {
+			if rng.Float64() < prob {
+				edges = append(edges, edge{u, v, float64(1 + rng.Intn(5))})
+			}
+		}
+	}
+
+	// Objective: cut weight = Σ_e w_e − Σ_e w_e Σ_c x_{u,c} x_{v,c}.
+	obj := NewQuadObjective(n)
+	for _, e := range edges {
+		obj.Constant += e.w
+		for c := 0; c < K; c++ {
+			obj.AddQuad(xIdx(e.u, c), xIdx(e.v, c), -e.w)
+		}
+	}
+	obj.Normalize()
+
+	rows := E + K
+	C := linalg.NewIntMat(rows, n)
+	b := make([]int64, rows)
+	for i := 0; i < E; i++ {
+		for c := 0; c < K; c++ {
+			C.Set(i, xIdx(i, c), 1)
+		}
+		b[i] = 1
+	}
+	for c := 0; c < K; c++ {
+		for i := 0; i < E; i++ {
+			C.Set(E+c, xIdx(i, c), 1)
+		}
+		b[E+c] = caps[c]
+	}
+
+	// Greedy capacity fill: element i goes to the first box with room —
+	// the O(e) initializer described in Section 5.1.
+	init := bitvec.New(n)
+	fill := make([]int64, K)
+	for i := 0; i < E; i++ {
+		for c := 0; c < K; c++ {
+			if fill[c] < caps[c] {
+				init.Set(xIdx(i, c), true)
+				fill[c]++
+				break
+			}
+		}
+	}
+
+	p := &Problem{
+		Name:   fmt.Sprintf("KPP(e=%d,k=%d,seed=%d)", E, K, seed),
+		Family: "KPP",
+		N:      n,
+		Sense:  Minimize,
+		Obj:    obj,
+		C:      C,
+		B:      b,
+		Init:   init,
+		Meta:   map[string]int{"elements": E, "k": K, "edges": len(edges)},
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+var kppScales = []KPPConfig{
+	{Elements: 4, K: 2}, // K1: 8 vars
+	{Elements: 5, K: 2}, // K2: 10 vars
+	{Elements: 4, K: 3}, // K3: 12 vars
+	{Elements: 5, K: 3}, // K4: 15 vars
+}
+
+// KPP returns the scale-s benchmark instance (K1–K4 of Table 2).
+func KPP(scale int, caseIdx int) *Problem {
+	cfg := scaleConfig(kppScales, scale, "KPP")
+	p := GenerateKPP(cfg, caseSeed("KPP", scale, caseIdx))
+	p.Name = fmt.Sprintf("K%d/case%d", scale, caseIdx)
+	return p
+}

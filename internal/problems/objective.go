@@ -1,0 +1,152 @@
+package problems
+
+import (
+	"fmt"
+	"sort"
+
+	"rasengan/internal/bitvec"
+)
+
+// QuadTerm is a single product term c·x_i·x_j of a quadratic objective,
+// with I < J.
+type QuadTerm struct {
+	I, J int
+	Coef float64
+}
+
+// QuadObjective is a quadratic pseudo-Boolean function
+//
+//	f(x) = Constant + Σ_i Linear[i]·x_i + Σ_{(i,j)} Coef·x_i·x_j.
+//
+// All benchmark objectives and all penalty expansions fit this form, and
+// it is the form the penalty baselines compile into diagonal Hamiltonians.
+type QuadObjective struct {
+	Constant float64
+	Linear   []float64
+	Quad     []QuadTerm
+}
+
+// NewQuadObjective returns an all-zero objective over n variables.
+func NewQuadObjective(n int) QuadObjective {
+	return QuadObjective{Linear: make([]float64, n)}
+}
+
+// N returns the number of variables.
+func (q *QuadObjective) N() int { return len(q.Linear) }
+
+// Eval computes f(x).
+func (q *QuadObjective) Eval(x bitvec.Vec) float64 {
+	v := q.Constant
+	for i, c := range q.Linear {
+		if c != 0 && x.Bit(i) {
+			v += c
+		}
+	}
+	for _, t := range q.Quad {
+		if x.Bit(t.I) && x.Bit(t.J) {
+			v += t.Coef
+		}
+	}
+	return v
+}
+
+// AddQuad accumulates coefficient c onto the product term x_i·x_j,
+// normalizing the index order and merging duplicates lazily (Normalize
+// merges; Eval is correct either way).
+func (q *QuadObjective) AddQuad(i, j int, c float64) {
+	if i == j {
+		// x_i² = x_i for binary variables.
+		q.Linear[i] += c
+		return
+	}
+	if i > j {
+		i, j = j, i
+	}
+	if i < 0 || j >= q.N() {
+		panic(fmt.Sprintf("problems: quad term (%d,%d) out of range n=%d", i, j, q.N()))
+	}
+	q.Quad = append(q.Quad, QuadTerm{I: i, J: j, Coef: c})
+}
+
+// Normalize sorts quadratic terms, merges duplicates, and drops zeros.
+func (q *QuadObjective) Normalize() {
+	sort.Slice(q.Quad, func(a, b int) bool {
+		if q.Quad[a].I != q.Quad[b].I {
+			return q.Quad[a].I < q.Quad[b].I
+		}
+		return q.Quad[a].J < q.Quad[b].J
+	})
+	out := q.Quad[:0]
+	for _, t := range q.Quad {
+		if n := len(out); n > 0 && out[n-1].I == t.I && out[n-1].J == t.J {
+			out[n-1].Coef += t.Coef
+		} else {
+			out = append(out, t)
+		}
+	}
+	final := out[:0]
+	for _, t := range out {
+		if t.Coef != 0 {
+			final = append(final, t)
+		}
+	}
+	q.Quad = final
+}
+
+// Clone returns a deep copy.
+func (q *QuadObjective) Clone() QuadObjective {
+	c := QuadObjective{Constant: q.Constant, Linear: append([]float64(nil), q.Linear...)}
+	c.Quad = append([]QuadTerm(nil), q.Quad...)
+	return c
+}
+
+// Scale multiplies the whole objective by s in place.
+func (q *QuadObjective) Scale(s float64) {
+	q.Constant *= s
+	for i := range q.Linear {
+		q.Linear[i] *= s
+	}
+	for i := range q.Quad {
+		q.Quad[i].Coef *= s
+	}
+}
+
+// IsingCoefficients converts the QUBO to Ising form under x_i = (1−z_i)/2,
+// z_i = ±1 (z_i = +1 ⇔ x_i = 0), returning the constant offset, the local
+// fields h (coefficient of z_i) and the couplings J (coefficient of
+// z_i·z_j, i<j). The penalty QAOA baselines exponentiate this form: the
+// diagonal phase separator applies RZ(2γh_i) and RZZ(2γJ_ij).
+func (q *QuadObjective) IsingCoefficients() (offset float64, h []float64, J []QuadTerm) {
+	n := q.N()
+	h = make([]float64, n)
+	offset = q.Constant
+	for i, c := range q.Linear {
+		// c·x_i = c/2 − c/2·z_i
+		offset += c / 2
+		h[i] -= c / 2
+	}
+	jm := map[[2]int]float64{}
+	for _, t := range q.Quad {
+		// c·x_i·x_j = c/4 (1 − z_i − z_j + z_i z_j)
+		offset += t.Coef / 4
+		h[t.I] -= t.Coef / 4
+		h[t.J] -= t.Coef / 4
+		jm[[2]int{t.I, t.J}] += t.Coef / 4
+	}
+	keys := make([][2]int, 0, len(jm))
+	for k := range jm {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	for _, k := range keys {
+		if jm[k] != 0 {
+			J = append(J, QuadTerm{I: k[0], J: k[1], Coef: jm[k]})
+		}
+	}
+	return offset, h, J
+}

@@ -1,0 +1,125 @@
+package problems
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rasengan/internal/bitvec"
+	"rasengan/internal/linalg"
+)
+
+// SCPConfig shapes a set covering instance: a universe of Elements items
+// and Sets candidate sets with positive costs; every item must be covered
+// by at least one selected set and total cost is minimized.
+//
+// Each element e is placed in exactly deg_e sets (2 ≤ deg_e ≤ MaxDegree),
+// so the coverage count of e lies in 0..deg_e and the ≥1 covering
+// constraint becomes the equality
+//
+//	Σ_{j ∋ e} x_j − Σ_{k < deg_e − 1} s_{e,k} = 1
+//
+// with deg_e − 1 binary slack variables.
+//
+// Variable layout: set variables x_j at indices 0..Sets-1, then the slack
+// blocks per element in order.
+type SCPConfig struct {
+	Sets      int
+	Elements  int
+	MaxDegree int // per-element set membership degree, ≥2; default 2
+}
+
+// GenerateSCP builds a seeded set covering instance.
+func GenerateSCP(cfg SCPConfig, seed int64) *Problem {
+	if cfg.Sets < 2 || cfg.Elements < 1 {
+		panic(fmt.Sprintf("problems: invalid SCP config %+v", cfg))
+	}
+	maxDeg := cfg.MaxDegree
+	if maxDeg < 2 {
+		maxDeg = 2
+	}
+	if maxDeg > cfg.Sets {
+		maxDeg = cfg.Sets
+	}
+	rng := rand.New(rand.NewSource(seed))
+	S, E := cfg.Sets, cfg.Elements
+
+	// Assign each element to deg_e distinct sets.
+	membership := make([][]int, E) // element -> sets containing it
+	degs := make([]int, E)
+	for e := 0; e < E; e++ {
+		deg := 2
+		if maxDeg > 2 {
+			deg += rng.Intn(maxDeg - 1)
+		}
+		degs[e] = deg
+		perm := rng.Perm(S)
+		membership[e] = append([]int(nil), perm[:deg]...)
+	}
+
+	slackStart := make([]int, E)
+	n := S
+	for e := 0; e < E; e++ {
+		slackStart[e] = n
+		n += degs[e] - 1
+	}
+
+	obj := NewQuadObjective(n)
+	for j := 0; j < S; j++ {
+		obj.Linear[j] = float64(1 + rng.Intn(9))
+	}
+
+	C := linalg.NewIntMat(E, n)
+	b := make([]int64, E)
+	for e := 0; e < E; e++ {
+		for _, j := range membership[e] {
+			C.Set(e, j, 1)
+		}
+		for k := 0; k < degs[e]-1; k++ {
+			C.Set(e, slackStart[e]+k, -1)
+		}
+		b[e] = 1
+	}
+
+	// O(s) initializer: select every set; each element is covered deg_e
+	// times, so all deg_e − 1 slacks are 1.
+	init := bitvec.New(n)
+	for j := 0; j < S; j++ {
+		init.Set(j, true)
+	}
+	for e := 0; e < E; e++ {
+		for k := 0; k < degs[e]-1; k++ {
+			init.Set(slackStart[e]+k, true)
+		}
+	}
+
+	p := &Problem{
+		Name:   fmt.Sprintf("SCP(s=%d,e=%d,seed=%d)", S, E, seed),
+		Family: "SCP",
+		N:      n,
+		Sense:  Minimize,
+		Obj:    obj,
+		C:      C,
+		B:      b,
+		Init:   init,
+		Meta:   map[string]int{"sets": S, "elements": E},
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+var scpScales = []SCPConfig{
+	{Sets: 4, Elements: 3, MaxDegree: 2}, // S1: 7 vars
+	{Sets: 5, Elements: 4, MaxDegree: 2}, // S2: 9 vars
+	{Sets: 6, Elements: 4, MaxDegree: 3}, // S3: ~12 vars
+	{Sets: 7, Elements: 5, MaxDegree: 3}, // S4: ~14 vars
+}
+
+// SCP returns the scale-s benchmark instance (S1–S4 of Table 2).
+func SCP(scale int, caseIdx int) *Problem {
+	cfg := scaleConfig(scpScales, scale, "SCP")
+	p := GenerateSCP(cfg, caseSeed("SCP", scale, caseIdx))
+	p.Name = fmt.Sprintf("S%d/case%d", scale, caseIdx)
+	return p
+}

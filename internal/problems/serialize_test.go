@@ -1,0 +1,76 @@
+package problems
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProblemJSONRoundTrip(t *testing.T) {
+	for _, b := range Suite()[:8] {
+		p := b.Generate(0)
+		data, err := ToJSON(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		back, err := FromJSON(data)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if back.N != p.N || back.Sense != p.Sense || back.NumConstraints() != p.NumConstraints() {
+			t.Fatalf("%s: shape changed", p.Name)
+		}
+		// Objective must agree on every feasible state.
+		for _, x := range EnumerateFeasible(p, 50) {
+			if back.Objective(x) != p.Objective(x) {
+				t.Fatalf("%s: objective changed at %v", p.Name, x)
+			}
+			if !back.Feasible(x) {
+				t.Fatalf("%s: feasibility changed at %v", p.Name, x)
+			}
+		}
+		if !back.Init.Equal(p.Init) {
+			t.Errorf("%s: init changed", p.Name)
+		}
+	}
+}
+
+func TestProblemJSONRejectsMalformed(t *testing.T) {
+	p := FLP(1, 0)
+	data, err := ToJSON(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []string{
+		`{"version":99}`,
+		`not json`,
+		strings.Replace(string(data), `"initial_solution": "`, `"initial_solution": "x`, 1),
+		strings.Replace(string(data), `"num_vars": 6`, `"num_vars": 2`, 1),
+		strings.Replace(string(data), `"sense": "min"`, `"sense": "sideways"`, 1),
+	}
+	for i, src := range cases {
+		if _, err := FromJSON([]byte(src)); err == nil {
+			t.Errorf("case %d: malformed instance accepted", i)
+		}
+	}
+}
+
+func TestProblemJSONMaximizeSense(t *testing.T) {
+	p, err := NewBuilder("max", 2).Maximize().
+		Linear(0, 1).Linear(1, 2).
+		Le(map[int]int64{0: 1, 1: 1}, 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ToJSON(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Sense != Maximize {
+		t.Error("maximize sense lost")
+	}
+}

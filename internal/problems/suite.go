@@ -1,0 +1,57 @@
+package problems
+
+import "fmt"
+
+// Benchmark identifies one cell of the 20-benchmark suite of Table 2.
+type Benchmark struct {
+	Family string // "FLP", "KPP", "JSP", "SCP", "GCP"
+	Scale  int    // 1..4
+}
+
+// Label returns the paper's short name, e.g. "F2" or "S4".
+func (b Benchmark) Label() string {
+	return fmt.Sprintf("%c%d", b.Family[0], b.Scale)
+}
+
+// Generate returns the caseIdx-th seeded instance of this benchmark.
+func (b Benchmark) Generate(caseIdx int) *Problem {
+	switch b.Family {
+	case "FLP":
+		return FLP(b.Scale, caseIdx)
+	case "KPP":
+		return KPP(b.Scale, caseIdx)
+	case "JSP":
+		return JSP(b.Scale, caseIdx)
+	case "SCP":
+		return SCP(b.Scale, caseIdx)
+	case "GCP":
+		return GCP(b.Scale, caseIdx)
+	default:
+		panic(fmt.Sprintf("problems: unknown family %q", b.Family))
+	}
+}
+
+// Families lists the benchmark families in the paper's column order.
+var Families = []string{"FLP", "KPP", "JSP", "SCP", "GCP"}
+
+// Suite returns all 20 benchmarks of Table 2 in column order
+// (F1..F4, K1..K4, J1..J4, S1..S4, G1..G4).
+func Suite() []Benchmark {
+	var out []Benchmark
+	for _, f := range Families {
+		for s := 1; s <= 4; s++ {
+			out = append(out, Benchmark{Family: f, Scale: s})
+		}
+	}
+	return out
+}
+
+// ByLabel resolves a short label like "F1" or "G4" to its benchmark.
+func ByLabel(label string) (Benchmark, error) {
+	for _, b := range Suite() {
+		if b.Label() == label {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("problems: unknown benchmark label %q", label)
+}

@@ -1,0 +1,88 @@
+package problems
+
+import "sort"
+
+// ConstraintGraphStats describes the constraint topology graph of Table 2:
+// decision variables are nodes and two variables are adjacent when they
+// appear in a common constraint row. The paper uses the average node
+// degree as its constraint-hardness measure.
+type ConstraintGraphStats struct {
+	Nodes         int
+	Edges         int
+	AverageDegree float64
+	MaxDegree     int
+	// Components is the number of connected components; 1 means every
+	// variable is transitively coupled.
+	Components int
+	// MaxRowSpan is the largest number of variables a single constraint
+	// touches — the k that bounds transition-operator support (the KPP
+	// discussion of Section 5.2).
+	MaxRowSpan int
+}
+
+// ConstraintTopology computes the constraint-graph statistics of p.
+func ConstraintTopology(p *Problem) ConstraintGraphStats {
+	n := p.N
+	adj := make([]map[int]bool, n)
+	for i := range adj {
+		adj[i] = map[int]bool{}
+	}
+	maxSpan := 0
+	for r := 0; r < p.C.Rows; r++ {
+		var vars []int
+		for c := 0; c < n; c++ {
+			if p.C.At(r, c) != 0 {
+				vars = append(vars, c)
+			}
+		}
+		if len(vars) > maxSpan {
+			maxSpan = len(vars)
+		}
+		for i := 0; i < len(vars); i++ {
+			for j := i + 1; j < len(vars); j++ {
+				adj[vars[i]][vars[j]] = true
+				adj[vars[j]][vars[i]] = true
+			}
+		}
+	}
+	stats := ConstraintGraphStats{Nodes: n, MaxRowSpan: maxSpan}
+	degSum := 0
+	for _, nb := range adj {
+		d := len(nb)
+		degSum += d
+		stats.Edges += d
+		if d > stats.MaxDegree {
+			stats.MaxDegree = d
+		}
+	}
+	stats.Edges /= 2
+	if n > 0 {
+		stats.AverageDegree = float64(degSum) / float64(n)
+	}
+	// Connected components by BFS.
+	seen := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if seen[v] {
+			continue
+		}
+		stats.Components++
+		queue := []int{v}
+		seen[v] = true
+		for len(queue) > 0 {
+			q := queue[0]
+			queue = queue[1:]
+			keys := make([]int, 0, len(adj[q]))
+			for w := range adj[q] {
+				keys = append(keys, w)
+			}
+			sort.Ints(keys)
+			for _, w := range keys {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return stats
+}

@@ -1,0 +1,58 @@
+package qasm
+
+import "testing"
+
+// FuzzParse asserts that Parse never panics on arbitrary input and that
+// whatever it accepts round-trips through Export.
+func FuzzParse(f *testing.F) {
+	f.Add("OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n")
+	f.Add("qreg q[1];\nrx(pi/2) q[0];\n")
+	f.Add("qreg q[3];\n// mcp(0.5) q[0],q[1],q[2];\n")
+	f.Add("qreg q[2];\nccx q[0]")
+	f.Add("")
+	f.Add("qreg q[9999999999];")
+	f.Add("qreg q[2];\ncp(-pi/4) q[1],q[0];")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted input must survive an export/import cycle unchanged in
+		// gate structure.
+		back, err := Parse(Export(c))
+		if err != nil {
+			t.Fatalf("re-parse of exported circuit failed: %v", err)
+		}
+		if back.NumQubits != c.NumQubits || len(back.Gates) != len(c.Gates) {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				back.NumQubits, len(back.Gates), c.NumQubits, len(c.Gates))
+		}
+		for i := range c.Gates {
+			if back.Gates[i].Kind != c.Gates[i].Kind {
+				t.Fatalf("gate %d kind changed", i)
+			}
+		}
+	})
+}
+
+// FuzzParseNoOversizedRegisters guards the width cap: whatever Parse
+// accepts must be a buildable circuit.
+func FuzzParseNoOversizedRegisters(f *testing.F) {
+	f.Add("qreg q[64];\nx q[63];\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, g := range c.Gates {
+			if err := g.Validate(); err != nil {
+				t.Fatalf("accepted invalid gate: %v", err)
+			}
+			for _, q := range g.Qubits {
+				if q >= c.NumQubits {
+					t.Fatalf("gate touches qubit %d outside register %d", q, c.NumQubits)
+				}
+			}
+		}
+	})
+}

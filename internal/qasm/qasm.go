@@ -1,0 +1,296 @@
+// Package qasm serializes circuits to and from OpenQASM 2.0 text, the
+// interchange format of the Qiskit ecosystem the original artifact lives
+// in. Export covers the full gate set of this repository (composite gates
+// are emitted via their standard macro names); Parse accepts the subset
+// Export produces plus common aliases, enough to round-trip every circuit
+// the library builds and to import externally generated transition
+// circuits.
+package qasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rasengan/internal/quantum"
+)
+
+// Export renders a circuit as OpenQASM 2.0. Gate angles are emitted with
+// full float64 precision so Parse(Export(c)) reproduces c exactly.
+func Export(c *quantum.Circuit) string {
+	var sb strings.Builder
+	sb.WriteString("OPENQASM 2.0;\n")
+	sb.WriteString("include \"qelib1.inc\";\n")
+	fmt.Fprintf(&sb, "qreg q[%d];\n", c.NumQubits)
+	for _, g := range c.Gates {
+		sb.WriteString(gateLine(g))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func gateLine(g quantum.Gate) string {
+	q := func(i int) string { return fmt.Sprintf("q[%d]", g.Qubits[i]) }
+	switch g.Kind {
+	case quantum.GateX:
+		return fmt.Sprintf("x %s;", q(0))
+	case quantum.GateH:
+		return fmt.Sprintf("h %s;", q(0))
+	case quantum.GateSX:
+		return fmt.Sprintf("sx %s;", q(0))
+	case quantum.GateRX:
+		return fmt.Sprintf("rx(%s) %s;", fmtAngle(g.Theta), q(0))
+	case quantum.GateRY:
+		return fmt.Sprintf("ry(%s) %s;", fmtAngle(g.Theta), q(0))
+	case quantum.GateRZ:
+		return fmt.Sprintf("rz(%s) %s;", fmtAngle(g.Theta), q(0))
+	case quantum.GateP:
+		return fmt.Sprintf("p(%s) %s;", fmtAngle(g.Theta), q(0))
+	case quantum.GateCX:
+		return fmt.Sprintf("cx %s,%s;", q(0), q(1))
+	case quantum.GateSWAP:
+		return fmt.Sprintf("swap %s,%s;", q(0), q(1))
+	case quantum.GateCCX:
+		return fmt.Sprintf("ccx %s,%s,%s;", q(0), q(1), q(2))
+	case quantum.GateCP:
+		return fmt.Sprintf("cp(%s) %s,%s;", fmtAngle(g.Theta), q(0), q(1))
+	case quantum.GateMCP:
+		// No standard qelib macro for k-controlled phase; emit a comment
+		// marker plus the qubit list so Parse can reconstruct it, keeping
+		// the file a valid QASM prefix for tools that ignore comments.
+		args := make([]string, len(g.Qubits))
+		for i := range g.Qubits {
+			args[i] = q(i)
+		}
+		return fmt.Sprintf("// mcp(%s) %s;", fmtAngle(g.Theta), strings.Join(args, ","))
+	default:
+		return fmt.Sprintf("// unsupported gate %v", g.Kind)
+	}
+}
+
+func fmtAngle(theta float64) string {
+	return strconv.FormatFloat(theta, 'g', 17, 64)
+}
+
+// Parse reads OpenQASM 2.0 text produced by Export (or a compatible
+// subset: one gate per line, a single quantum register).
+func Parse(src string) (*quantum.Circuit, error) {
+	var c *quantum.Circuit
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := strings.TrimSpace(raw)
+		switch {
+		case line == "" || strings.HasPrefix(line, "OPENQASM") || strings.HasPrefix(line, "include"):
+			continue
+		case strings.HasPrefix(line, "// mcp("):
+			if c == nil {
+				return nil, fmt.Errorf("qasm: line %d: gate before qreg", ln+1)
+			}
+			if err := parseMCP(c, strings.TrimPrefix(line, "// ")); err != nil {
+				return nil, fmt.Errorf("qasm: line %d: %w", ln+1, err)
+			}
+			continue
+		case strings.HasPrefix(line, "//"):
+			continue
+		case strings.HasPrefix(line, "qreg"):
+			n, err := parseQreg(line)
+			if err != nil {
+				return nil, fmt.Errorf("qasm: line %d: %w", ln+1, err)
+			}
+			c = quantum.NewCircuit(n)
+			continue
+		case strings.HasPrefix(line, "creg") || strings.HasPrefix(line, "measure") || strings.HasPrefix(line, "barrier"):
+			continue // classical bookkeeping we don't model
+		}
+		if c == nil {
+			return nil, fmt.Errorf("qasm: line %d: gate before qreg", ln+1)
+		}
+		if err := parseGate(c, line); err != nil {
+			return nil, fmt.Errorf("qasm: line %d: %w", ln+1, err)
+		}
+	}
+	if c == nil {
+		return nil, fmt.Errorf("qasm: no qreg declaration found")
+	}
+	return c, nil
+}
+
+func parseQreg(line string) (int, error) {
+	open := strings.IndexByte(line, '[')
+	close := strings.IndexByte(line, ']')
+	if open < 0 || close < open {
+		return 0, fmt.Errorf("malformed qreg %q", line)
+	}
+	n, err := strconv.Atoi(line[open+1 : close])
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("malformed qreg size in %q", line)
+	}
+	return n, nil
+}
+
+func parseGate(c *quantum.Circuit, line string) error {
+	line = strings.TrimSuffix(line, ";")
+	// Split "name(angle) args" or "name args".
+	var name, angleStr, argStr string
+	if sp := strings.IndexByte(line, ' '); sp < 0 {
+		return fmt.Errorf("malformed gate %q", line)
+	} else {
+		head := line[:sp]
+		argStr = strings.TrimSpace(line[sp+1:])
+		if par := strings.IndexByte(head, '('); par >= 0 {
+			name = head[:par]
+			end := strings.LastIndexByte(head, ')')
+			if end < par {
+				return fmt.Errorf("malformed angle in %q", line)
+			}
+			angleStr = head[par+1 : end]
+		} else {
+			name = head
+		}
+	}
+	qubits, err := parseArgs(argStr)
+	if err != nil {
+		return err
+	}
+	var theta float64
+	if angleStr != "" {
+		theta, err = parseAngle(angleStr)
+		if err != nil {
+			return err
+		}
+	}
+	arity := map[string]int{
+		"x": 1, "h": 1, "sx": 1, "rx": 1, "ry": 1, "rz": 1, "p": 1, "u1": 1,
+		"cx": 2, "CX": 2, "swap": 2, "cp": 2, "cu1": 2, "ccx": 3,
+	}
+	want, known := arity[name]
+	if known && len(qubits) != want {
+		return fmt.Errorf("gate %q needs %d qubits, got %d", name, want, len(qubits))
+	}
+	seen := map[int]bool{}
+	for _, q := range qubits {
+		if q < 0 || q >= c.NumQubits {
+			return fmt.Errorf("qubit %d outside register of %d", q, c.NumQubits)
+		}
+		if seen[q] {
+			return fmt.Errorf("gate %q repeats qubit %d", name, q)
+		}
+		seen[q] = true
+	}
+	switch name {
+	case "x":
+		c.X(qubits[0])
+	case "h":
+		c.H(qubits[0])
+	case "sx":
+		c.SX(qubits[0])
+	case "rx":
+		c.RX(qubits[0], theta)
+	case "ry":
+		c.RY(qubits[0], theta)
+	case "rz":
+		c.RZ(qubits[0], theta)
+	case "p", "u1":
+		c.P(qubits[0], theta)
+	case "cx", "CX":
+		c.CX(qubits[0], qubits[1])
+	case "swap":
+		c.SWAP(qubits[0], qubits[1])
+	case "ccx":
+		c.CCX(qubits[0], qubits[1], qubits[2])
+	case "cp", "cu1":
+		c.CP(qubits[0], qubits[1], theta)
+	default:
+		return fmt.Errorf("unsupported gate %q", name)
+	}
+	return nil
+}
+
+func parseMCP(c *quantum.Circuit, line string) error {
+	line = strings.TrimSuffix(line, ";")
+	par := strings.IndexByte(line, '(')
+	end := strings.IndexByte(line, ')')
+	if !strings.HasPrefix(line, "mcp(") || end < par {
+		return fmt.Errorf("malformed mcp %q", line)
+	}
+	theta, err := parseAngle(line[par+1 : end])
+	if err != nil {
+		return err
+	}
+	qubits, err := parseArgs(strings.TrimSpace(line[end+1:]))
+	if err != nil {
+		return err
+	}
+	if len(qubits) == 0 {
+		return fmt.Errorf("mcp with no qubits")
+	}
+	seen := map[int]bool{}
+	for _, q := range qubits {
+		if q < 0 || q >= c.NumQubits {
+			return fmt.Errorf("mcp qubit %d outside register of %d", q, c.NumQubits)
+		}
+		if seen[q] {
+			return fmt.Errorf("mcp repeats qubit %d", q)
+		}
+		seen[q] = true
+	}
+	c.MCP(qubits, theta)
+	return nil
+}
+
+func parseArgs(argStr string) ([]int, error) {
+	parts := strings.Split(argStr, ",")
+	out := make([]int, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		open := strings.IndexByte(part, '[')
+		close := strings.IndexByte(part, ']')
+		if open < 0 || close < open {
+			return nil, fmt.Errorf("malformed qubit reference %q", part)
+		}
+		q, err := strconv.Atoi(part[open+1 : close])
+		if err != nil {
+			return nil, fmt.Errorf("malformed qubit index %q", part)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// parseAngle accepts a float literal or the pi-expression forms "pi",
+// "pi/2", "-pi/4", "2*pi" that QASM emitters commonly produce.
+func parseAngle(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v, nil
+	}
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	const pi = 3.141592653589793
+	v := 0.0
+	switch {
+	case s == "pi":
+		v = pi
+	case strings.HasPrefix(s, "pi/"):
+		d, err := strconv.ParseFloat(s[3:], 64)
+		if err != nil || d == 0 {
+			return 0, fmt.Errorf("malformed angle %q", s)
+		}
+		v = pi / d
+	case strings.HasSuffix(s, "*pi"):
+		f, err := strconv.ParseFloat(s[:len(s)-3], 64)
+		if err != nil {
+			return 0, fmt.Errorf("malformed angle %q", s)
+		}
+		v = f * pi
+	default:
+		return 0, fmt.Errorf("malformed angle %q", s)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}

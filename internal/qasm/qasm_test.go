@@ -1,0 +1,187 @@
+package qasm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rasengan/internal/core"
+	"rasengan/internal/quantum"
+)
+
+func exampleCircuit() *quantum.Circuit {
+	c := quantum.NewCircuit(4)
+	c.H(0)
+	c.X(1)
+	c.SX(2)
+	c.RX(0, 0.5)
+	c.RY(1, -1.25)
+	c.RZ(2, 3.000000001)
+	c.P(3, 0.125)
+	c.CX(0, 1)
+	c.SWAP(1, 2)
+	c.CCX(0, 1, 3)
+	c.CP(2, 3, 0.7)
+	c.MCP([]int{0, 2, 3}, 1.9)
+	return c
+}
+
+func TestExportHeader(t *testing.T) {
+	out := Export(exampleCircuit())
+	if !strings.HasPrefix(out, "OPENQASM 2.0;") {
+		t.Error("missing QASM header")
+	}
+	if !strings.Contains(out, "qreg q[4];") {
+		t.Error("missing qreg")
+	}
+	if !strings.Contains(out, "cx q[0],q[1];") {
+		t.Error("missing cx")
+	}
+}
+
+func TestRoundTripExact(t *testing.T) {
+	orig := exampleCircuit()
+	parsed, err := Parse(Export(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.NumQubits != orig.NumQubits {
+		t.Fatalf("width %d != %d", parsed.NumQubits, orig.NumQubits)
+	}
+	if len(parsed.Gates) != len(orig.Gates) {
+		t.Fatalf("gate count %d != %d", len(parsed.Gates), len(orig.Gates))
+	}
+	for i, g := range orig.Gates {
+		pg := parsed.Gates[i]
+		if pg.Kind != g.Kind || pg.Theta != g.Theta {
+			t.Errorf("gate %d: %v(%v) != %v(%v)", i, pg.Kind, pg.Theta, g.Kind, g.Theta)
+		}
+		for j := range g.Qubits {
+			if pg.Qubits[j] != g.Qubits[j] {
+				t.Errorf("gate %d qubit %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestRoundTripSemantics(t *testing.T) {
+	orig := exampleCircuit()
+	parsed, err := Parse(Export(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := quantum.NewDense(4)
+	a.Run(orig)
+	b := quantum.NewDense(4)
+	b.Run(parsed)
+	for x := uint64(0); x < 16; x++ {
+		if math.Abs(a.Probability(x)-b.Probability(x)) > 1e-12 {
+			t.Fatalf("round trip changed semantics at %04b", x)
+		}
+	}
+}
+
+func TestTransitionOperatorRoundTrip(t *testing.T) {
+	// The full Rasengan operator circuit must survive serialization.
+	tr := core.Transition{U: []int64{1, 0, -1, 1, 0}}
+	circ := tr.OperatorCircuit(5, 0.77)
+	parsed, err := Parse(Export(circ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := quantum.NewDense(5)
+	a.Run(circ)
+	b := quantum.NewDense(5)
+	b.Run(parsed)
+	for x := uint64(0); x < 32; x++ {
+		if math.Abs(a.Probability(x)-b.Probability(x)) > 1e-12 {
+			t.Fatalf("operator round trip diverged at %05b", x)
+		}
+	}
+}
+
+func TestParsePiExpressions(t *testing.T) {
+	src := `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+rz(pi) q[0];
+rx(pi/2) q[1];
+ry(-pi/4) q[0];
+p(2*pi) q[1];
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Gates[0].Theta-math.Pi) > 1e-12 {
+		t.Error("pi wrong")
+	}
+	if math.Abs(c.Gates[1].Theta-math.Pi/2) > 1e-12 {
+		t.Error("pi/2 wrong")
+	}
+	if math.Abs(c.Gates[2].Theta+math.Pi/4) > 1e-12 {
+		t.Error("-pi/4 wrong")
+	}
+	if math.Abs(c.Gates[3].Theta-2*math.Pi) > 1e-12 {
+		t.Error("2*pi wrong")
+	}
+}
+
+func TestParseIgnoresClassical(t *testing.T) {
+	src := `OPENQASM 2.0;
+qreg q[1];
+creg c[1];
+x q[0];
+barrier q;
+measure q[0] -> c[0];
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 1 || c.Gates[0].Kind != quantum.GateX {
+		t.Errorf("parsed %d gates", len(c.Gates))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"x q[0];",                    // gate before qreg
+		"qreg q[2];\nfancy q[0];",    // unknown gate
+		"qreg q[2];\nrx(oops) q[0];", // bad angle
+		"qreg q[0];",                 // empty register
+		"OPENQASM 2.0;\ninclude \"qelib1.inc\";\n", // no qreg at all
+		"qreg q[2];\ncx q0,q1;",                    // malformed qubit refs
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted malformed input %q", src)
+		}
+	}
+}
+
+func TestParseAlias(t *testing.T) {
+	src := "qreg q[2];\nu1(0.5) q[0];\ncu1(0.25) q[0],q[1];\n"
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Gates[0].Kind != quantum.GateP || c.Gates[1].Kind != quantum.GateCP {
+		t.Error("aliases u1/cu1 not mapped")
+	}
+}
+
+func TestParseRejectsMalformedGateArgs(t *testing.T) {
+	cases := []string{
+		"qreg q[2];\nccx q[0];",              // wrong arity
+		"qreg q[2];\ncx q[0],q[0];",          // duplicate qubit
+		"qreg q[2];\ncx q[0],q[5];",          // out of register
+		"qreg q[2];\n// mcp(0.5) q[0],q[0];", // mcp duplicate
+		"qreg q[2];\n// mcp(0.5) q[0],q[9];", // mcp out of register
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package quantum
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Circuit is an ordered gate list over NumQubits qubits. It is the unit of
+// transpilation, depth accounting, and noisy execution.
+type Circuit struct {
+	NumQubits int
+	Gates     []Gate
+}
+
+// NewCircuit returns an empty circuit over n qubits.
+func NewCircuit(n int) *Circuit {
+	if n < 0 {
+		panic(fmt.Sprintf("quantum: negative qubit count %d", n))
+	}
+	return &Circuit{NumQubits: n}
+}
+
+// Append validates and adds a gate.
+func (c *Circuit) Append(g Gate) {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	for _, q := range g.Qubits {
+		if q >= c.NumQubits {
+			panic(fmt.Sprintf("quantum: gate %v touches qubit %d outside register of %d", g.Kind, q, c.NumQubits))
+		}
+	}
+	c.Gates = append(c.Gates, g)
+}
+
+// Convenience constructors for the common gate set.
+
+func (c *Circuit) X(q int)              { c.Append(Gate{Kind: GateX, Qubits: []int{q}}) }
+func (c *Circuit) H(q int)              { c.Append(Gate{Kind: GateH, Qubits: []int{q}}) }
+func (c *Circuit) SX(q int)             { c.Append(Gate{Kind: GateSX, Qubits: []int{q}}) }
+func (c *Circuit) RX(q int, th float64) { c.Append(Gate{Kind: GateRX, Qubits: []int{q}, Theta: th}) }
+func (c *Circuit) RY(q int, th float64) { c.Append(Gate{Kind: GateRY, Qubits: []int{q}, Theta: th}) }
+func (c *Circuit) RZ(q int, th float64) { c.Append(Gate{Kind: GateRZ, Qubits: []int{q}, Theta: th}) }
+func (c *Circuit) P(q int, th float64)  { c.Append(Gate{Kind: GateP, Qubits: []int{q}, Theta: th}) }
+func (c *Circuit) CX(ctrl, tgt int)     { c.Append(Gate{Kind: GateCX, Qubits: []int{ctrl, tgt}}) }
+func (c *Circuit) SWAP(a, b int)        { c.Append(Gate{Kind: GateSWAP, Qubits: []int{a, b}}) }
+func (c *Circuit) CCX(c1, c2, tgt int) {
+	c.Append(Gate{Kind: GateCCX, Qubits: []int{c1, c2, tgt}})
+}
+func (c *Circuit) CP(ctrl, tgt int, th float64) {
+	c.Append(Gate{Kind: GateCP, Qubits: []int{ctrl, tgt}, Theta: th})
+}
+
+// MCP appends a multi-controlled phase over the given qubits: the state
+// picks up e^{iθ} when every listed qubit is 1. A single-qubit MCP is a
+// plain phase gate.
+func (c *Circuit) MCP(qubits []int, th float64) {
+	c.Append(Gate{Kind: GateMCP, Qubits: append([]int(nil), qubits...), Theta: th})
+}
+
+// Extend appends all gates of other (which must not be wider than c).
+func (c *Circuit) Extend(other *Circuit) {
+	if other.NumQubits > c.NumQubits {
+		panic(fmt.Sprintf("quantum: extending %d-qubit circuit with %d-qubit circuit", c.NumQubits, other.NumQubits))
+	}
+	for _, g := range other.Gates {
+		c.Append(g)
+	}
+}
+
+// Clone returns a deep copy of the circuit.
+func (c *Circuit) Clone() *Circuit {
+	out := NewCircuit(c.NumQubits)
+	out.Gates = make([]Gate, len(c.Gates))
+	for i, g := range c.Gates {
+		g.Qubits = append([]int(nil), g.Qubits...)
+		out.Gates[i] = g
+	}
+	return out
+}
+
+// Depth returns the circuit depth under ASAP scheduling: the number of
+// layers when each gate starts as soon as all its qubits are free.
+func (c *Circuit) Depth() int {
+	avail := make([]int, c.NumQubits)
+	depth := 0
+	for _, g := range c.Gates {
+		start := 0
+		for _, q := range g.Qubits {
+			if avail[q] > start {
+				start = avail[q]
+			}
+		}
+		end := start + 1
+		for _, q := range g.Qubits {
+			avail[q] = end
+		}
+		if end > depth {
+			depth = end
+		}
+	}
+	return depth
+}
+
+// TwoQubitDepth returns the depth counting only entangling (≥2-qubit)
+// gates, the figure of merit NISQ executability is judged by.
+func (c *Circuit) TwoQubitDepth() int {
+	avail := make([]int, c.NumQubits)
+	depth := 0
+	for _, g := range c.Gates {
+		if !g.IsTwoQubitOrMore() {
+			continue
+		}
+		start := 0
+		for _, q := range g.Qubits {
+			if avail[q] > start {
+				start = avail[q]
+			}
+		}
+		end := start + 1
+		for _, q := range g.Qubits {
+			avail[q] = end
+		}
+		if end > depth {
+			depth = end
+		}
+	}
+	return depth
+}
+
+// CountKind returns how many gates of kind k the circuit holds.
+func (c *Circuit) CountKind(k GateKind) int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// CountTwoQubit returns the number of entangling gates.
+func (c *Circuit) CountTwoQubit() int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.IsTwoQubitOrMore() {
+			n++
+		}
+	}
+	return n
+}
+
+// Inverse returns the circuit's dagger: gates reversed with negated
+// angles. Self-inverse gates (X, H, SX†≠SX is the exception handled via
+// angle form, CX, CCX, SWAP) pass through unchanged; rotation and phase
+// gates negate θ. It panics on SX, which has no angle to negate — emit
+// RX(π/2) instead when invertibility is needed.
+func (c *Circuit) Inverse() *Circuit {
+	out := NewCircuit(c.NumQubits)
+	for i := len(c.Gates) - 1; i >= 0; i-- {
+		g := c.Gates[i]
+		g.Qubits = append([]int(nil), g.Qubits...)
+		switch g.Kind {
+		case GateX, GateH, GateCX, GateCCX, GateSWAP:
+			// self-inverse
+		case GateRX, GateRY, GateRZ, GateP, GateCP, GateMCP:
+			g.Theta = -g.Theta
+		case GateSX:
+			panic("quantum: SX has no native inverse in this gate set; use RX(π/2)")
+		}
+		out.Append(g)
+	}
+	return out
+}
+
+// String renders a compact one-line-per-gate listing for debugging.
+func (c *Circuit) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "circuit[%d qubits, %d gates, depth %d]\n", c.NumQubits, len(c.Gates), c.Depth())
+	for _, g := range c.Gates {
+		if g.Theta != 0 {
+			fmt.Fprintf(&sb, "  %s%v θ=%.4f\n", g.Kind, g.Qubits, g.Theta)
+		} else {
+			fmt.Fprintf(&sb, "  %s%v\n", g.Kind, g.Qubits)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,290 @@
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+
+	"rasengan/internal/bitvec"
+)
+
+// MaxDenseQubits bounds the dense simulator register; 2^26 amplitudes is
+// one GiB of complex128, the practical ceiling for the baseline sweeps.
+const MaxDenseQubits = 26
+
+// Dense is a full 2^n statevector. Basis index bit i corresponds to
+// decision variable / qubit i (little-endian), matching bitvec.
+type Dense struct {
+	n    int
+	amps []complex128
+}
+
+// NewDense returns the |0...0⟩ state over n qubits.
+func NewDense(n int) *Dense {
+	if n < 0 || n > MaxDenseQubits {
+		panic(fmt.Sprintf("quantum: dense register of %d qubits out of range [0,%d]", n, MaxDenseQubits))
+	}
+	d := &Dense{n: n, amps: make([]complex128, 1<<uint(n))}
+	d.amps[0] = 1
+	return d
+}
+
+// NewDenseBasis returns |x⟩ for a basis bit vector x.
+func NewDenseBasis(x bitvec.Vec) *Dense {
+	d := NewDense(x.Len())
+	d.amps[0] = 0
+	d.amps[x.Uint64()] = 1
+	return d
+}
+
+// NumQubits returns the register width.
+func (d *Dense) NumQubits() int { return d.n }
+
+// Amplitude returns ⟨x|ψ⟩.
+func (d *Dense) Amplitude(x uint64) complex128 { return d.amps[x] }
+
+// Probability returns |⟨x|ψ⟩|².
+func (d *Dense) Probability(x uint64) float64 {
+	a := d.amps[x]
+	return real(a)*real(a) + imag(a)*imag(a)
+}
+
+// Norm returns ⟨ψ|ψ⟩.
+func (d *Dense) Norm() float64 {
+	s := 0.0
+	for _, a := range d.amps {
+		s += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return s
+}
+
+// Normalize rescales to unit norm; it reports whether the state was
+// non-null (an all-zero state cannot be normalized).
+func (d *Dense) Normalize() bool {
+	nrm := math.Sqrt(d.Norm())
+	if nrm == 0 {
+		return false
+	}
+	inv := complex(1/nrm, 0)
+	for i := range d.amps {
+		d.amps[i] *= inv
+	}
+	return true
+}
+
+// Apply1Q applies the 2x2 unitary m to qubit q.
+func (d *Dense) Apply1Q(q int, m [2][2]complex128) {
+	bit := uint64(1) << uint(q)
+	for i := uint64(0); i < uint64(len(d.amps)); i++ {
+		if i&bit != 0 {
+			continue
+		}
+		j := i | bit
+		a0, a1 := d.amps[i], d.amps[j]
+		d.amps[i] = m[0][0]*a0 + m[0][1]*a1
+		d.amps[j] = m[1][0]*a0 + m[1][1]*a1
+	}
+}
+
+// ApplyGate applies one gate of the IR.
+func (d *Dense) ApplyGate(g Gate) {
+	switch g.Kind {
+	case GateX:
+		d.Apply1Q(g.Qubits[0], [2][2]complex128{{0, 1}, {1, 0}})
+	case GateH:
+		s := complex(1/math.Sqrt2, 0)
+		d.Apply1Q(g.Qubits[0], [2][2]complex128{{s, s}, {s, -s}})
+	case GateSX:
+		// sqrt(X) = 1/2 [[1+i, 1-i], [1-i, 1+i]]
+		p, q := complex(0.5, 0.5), complex(0.5, -0.5)
+		d.Apply1Q(g.Qubits[0], [2][2]complex128{{p, q}, {q, p}})
+	case GateRX:
+		c, s := math.Cos(g.Theta/2), math.Sin(g.Theta/2)
+		d.Apply1Q(g.Qubits[0], [2][2]complex128{{complex(c, 0), complex(0, -s)}, {complex(0, -s), complex(c, 0)}})
+	case GateRY:
+		c, s := math.Cos(g.Theta/2), math.Sin(g.Theta/2)
+		d.Apply1Q(g.Qubits[0], [2][2]complex128{{complex(c, 0), complex(-s, 0)}, {complex(s, 0), complex(c, 0)}})
+	case GateRZ:
+		e0, e1 := cmplx.Exp(complex(0, -g.Theta/2)), cmplx.Exp(complex(0, g.Theta/2))
+		d.Apply1Q(g.Qubits[0], [2][2]complex128{{e0, 0}, {0, e1}})
+	case GateP:
+		e := cmplx.Exp(complex(0, g.Theta))
+		d.Apply1Q(g.Qubits[0], [2][2]complex128{{1, 0}, {0, e}})
+	case GateCX:
+		d.applyCX(g.Qubits[0], g.Qubits[1])
+	case GateSWAP:
+		d.applySWAP(g.Qubits[0], g.Qubits[1])
+	case GateCCX:
+		d.applyCCX(g.Qubits[0], g.Qubits[1], g.Qubits[2])
+	case GateCP, GateMCP:
+		d.applyMCP(g.Qubits, g.Theta)
+	default:
+		panic(fmt.Sprintf("quantum: dense simulator cannot apply %v", g.Kind))
+	}
+}
+
+func (d *Dense) applyCX(ctrl, tgt int) {
+	cb, tb := uint64(1)<<uint(ctrl), uint64(1)<<uint(tgt)
+	for i := uint64(0); i < uint64(len(d.amps)); i++ {
+		if i&cb != 0 && i&tb == 0 {
+			j := i | tb
+			d.amps[i], d.amps[j] = d.amps[j], d.amps[i]
+		}
+	}
+}
+
+func (d *Dense) applySWAP(a, b int) {
+	ab, bb := uint64(1)<<uint(a), uint64(1)<<uint(b)
+	for i := uint64(0); i < uint64(len(d.amps)); i++ {
+		if i&ab != 0 && i&bb == 0 {
+			j := (i &^ ab) | bb
+			d.amps[i], d.amps[j] = d.amps[j], d.amps[i]
+		}
+	}
+}
+
+func (d *Dense) applyCCX(c1, c2, tgt int) {
+	b1, b2, tb := uint64(1)<<uint(c1), uint64(1)<<uint(c2), uint64(1)<<uint(tgt)
+	for i := uint64(0); i < uint64(len(d.amps)); i++ {
+		if i&b1 != 0 && i&b2 != 0 && i&tb == 0 {
+			j := i | tb
+			d.amps[i], d.amps[j] = d.amps[j], d.amps[i]
+		}
+	}
+}
+
+func (d *Dense) applyMCP(qubits []int, theta float64) {
+	var mask uint64
+	for _, q := range qubits {
+		mask |= 1 << uint(q)
+	}
+	e := cmplx.Exp(complex(0, theta))
+	for i := uint64(0); i < uint64(len(d.amps)); i++ {
+		if i&mask == mask {
+			d.amps[i] *= e
+		}
+	}
+}
+
+// Run applies every gate of the circuit in order.
+func (d *Dense) Run(c *Circuit) {
+	if c.NumQubits > d.n {
+		panic(fmt.Sprintf("quantum: circuit of %d qubits on %d-qubit state", c.NumQubits, d.n))
+	}
+	for _, g := range c.Gates {
+		d.ApplyGate(g)
+	}
+}
+
+// ApplyDiagonalPhase multiplies each amplitude by e^{-i·gamma·energy[x]},
+// the phase-separator of QAOA for a diagonal objective Hamiltonian.
+func (d *Dense) ApplyDiagonalPhase(energy []float64, gamma float64) {
+	if len(energy) != len(d.amps) {
+		panic(fmt.Sprintf("quantum: energy table of %d entries for %d amplitudes", len(energy), len(d.amps)))
+	}
+	for i := range d.amps {
+		d.amps[i] *= cmplx.Exp(complex(0, -gamma*energy[i]))
+	}
+}
+
+// ApplyTransition applies exp(-i·H^τ(u)·t) exactly by amplitude pairing:
+// basis states x with a binary-valid partner x+u mix as
+// cos(t)·|x⟩ − i·sin(t)·|x+u⟩; all other states are fixed points. This is
+// Equation 6 of the paper and is used by the dense Choco-Q mixer.
+func (d *Dense) ApplyTransition(u []int64, t float64) {
+	if len(u) != d.n {
+		panic(fmt.Sprintf("quantum: transition vector of %d entries on %d qubits", len(u), d.n))
+	}
+	ct, st := complex(math.Cos(t), 0), complex(0, math.Sin(t))
+	// Masks: plus = positions with u=+1 (must be 0 in x, become 1);
+	// minus = positions with u=-1 (must be 1 in x, become 0).
+	var plus, minus uint64
+	for i, v := range u {
+		switch v {
+		case 1:
+			plus |= 1 << uint(i)
+		case -1:
+			minus |= 1 << uint(i)
+		}
+	}
+	if plus == 0 && minus == 0 {
+		return
+	}
+	for i := uint64(0); i < uint64(len(d.amps)); i++ {
+		// Treat i as the "lower" element of the pair: x with x+u valid.
+		if i&plus == 0 && i&minus == minus {
+			j := (i | plus) &^ minus
+			a, b := d.amps[i], d.amps[j]
+			d.amps[i] = ct*a - st*b
+			d.amps[j] = ct*b - st*a
+		}
+	}
+}
+
+// Probabilities returns the full probability vector (a copy).
+func (d *Dense) Probabilities() []float64 {
+	out := make([]float64, len(d.amps))
+	for i, a := range d.amps {
+		out[i] = real(a)*real(a) + imag(a)*imag(a)
+	}
+	return out
+}
+
+// ExpectationDiagonal returns Σ_x p(x)·energy[x].
+func (d *Dense) ExpectationDiagonal(energy []float64) float64 {
+	s := 0.0
+	for i, a := range d.amps {
+		p := real(a)*real(a) + imag(a)*imag(a)
+		if p != 0 {
+			s += p * energy[i]
+		}
+	}
+	return s
+}
+
+// Sample draws shots basis-state measurements.
+func (d *Dense) Sample(rng *rand.Rand, shots int) map[bitvec.Vec]int {
+	probs := d.Probabilities()
+	cdf := make([]float64, len(probs))
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		cdf[i] = acc
+	}
+	out := make(map[bitvec.Vec]int)
+	for s := 0; s < shots; s++ {
+		r := rng.Float64() * acc
+		idx := sort.SearchFloat64s(cdf, r)
+		if idx >= len(cdf) {
+			idx = len(cdf) - 1
+		}
+		out[bitvec.FromUint64(uint64(idx), d.n)]++
+	}
+	return out
+}
+
+// SetPhaseFlip negates the amplitude of basis state x — the exact-oracle
+// primitive of Grover-style search.
+func (d *Dense) SetPhaseFlip(x uint64) { d.amps[x] = -d.amps[x] }
+
+// ReflectAboutUniform applies the Grover diffusion operator 2|s⟩⟨s| − I,
+// where |s⟩ is the uniform superposition.
+func (d *Dense) ReflectAboutUniform() {
+	var mean complex128
+	for _, a := range d.amps {
+		mean += a
+	}
+	mean /= complex(float64(len(d.amps)), 0)
+	for i := range d.amps {
+		d.amps[i] = 2*mean - d.amps[i]
+	}
+}
+
+// Clone deep-copies the state.
+func (d *Dense) Clone() *Dense {
+	c := &Dense{n: d.n, amps: make([]complex128, len(d.amps))}
+	copy(c.amps, d.amps)
+	return c
+}

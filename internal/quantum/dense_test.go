@@ -1,0 +1,254 @@
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rasengan/internal/bitvec"
+)
+
+const tol = 1e-10
+
+func TestDenseInitialState(t *testing.T) {
+	d := NewDense(3)
+	if d.Probability(0) != 1 {
+		t.Error("initial state is not |000⟩")
+	}
+	if math.Abs(d.Norm()-1) > tol {
+		t.Error("initial norm != 1")
+	}
+}
+
+func TestDenseBasisInit(t *testing.T) {
+	x := bitvec.MustFromString("101")
+	d := NewDenseBasis(x)
+	if math.Abs(d.Probability(x.Uint64())-1) > tol {
+		t.Error("basis init wrong")
+	}
+}
+
+func TestXGate(t *testing.T) {
+	d := NewDense(2)
+	d.ApplyGate(Gate{Kind: GateX, Qubits: []int{1}})
+	if math.Abs(d.Probability(0b10)-1) > tol {
+		t.Errorf("X on qubit 1 gave wrong state")
+	}
+}
+
+func TestHadamardSuperposition(t *testing.T) {
+	d := NewDense(1)
+	d.ApplyGate(Gate{Kind: GateH, Qubits: []int{0}})
+	if math.Abs(d.Probability(0)-0.5) > tol || math.Abs(d.Probability(1)-0.5) > tol {
+		t.Error("H did not create equal superposition")
+	}
+	d.ApplyGate(Gate{Kind: GateH, Qubits: []int{0}})
+	if math.Abs(d.Probability(0)-1) > tol {
+		t.Error("H·H != I")
+	}
+}
+
+func TestCXEntangles(t *testing.T) {
+	d := NewDense(2)
+	d.ApplyGate(Gate{Kind: GateH, Qubits: []int{0}})
+	d.ApplyGate(Gate{Kind: GateCX, Qubits: []int{0, 1}})
+	// Bell state: |00⟩ + |11⟩.
+	if math.Abs(d.Probability(0b00)-0.5) > tol || math.Abs(d.Probability(0b11)-0.5) > tol {
+		t.Error("CX did not produce Bell state")
+	}
+}
+
+func TestCCX(t *testing.T) {
+	d := NewDense(3)
+	d.ApplyGate(Gate{Kind: GateX, Qubits: []int{0}})
+	d.ApplyGate(Gate{Kind: GateX, Qubits: []int{1}})
+	d.ApplyGate(Gate{Kind: GateCCX, Qubits: []int{0, 1, 2}})
+	if math.Abs(d.Probability(0b111)-1) > tol {
+		t.Error("CCX with both controls set did not flip target")
+	}
+	d2 := NewDense(3)
+	d2.ApplyGate(Gate{Kind: GateX, Qubits: []int{0}})
+	d2.ApplyGate(Gate{Kind: GateCCX, Qubits: []int{0, 1, 2}})
+	if math.Abs(d2.Probability(0b001)-1) > tol {
+		t.Error("CCX with one control set should be identity")
+	}
+}
+
+func TestSWAP(t *testing.T) {
+	d := NewDense(2)
+	d.ApplyGate(Gate{Kind: GateX, Qubits: []int{0}})
+	d.ApplyGate(Gate{Kind: GateSWAP, Qubits: []int{0, 1}})
+	if math.Abs(d.Probability(0b10)-1) > tol {
+		t.Error("SWAP failed")
+	}
+}
+
+func TestMCPPhase(t *testing.T) {
+	d := NewDense(3)
+	for q := 0; q < 3; q++ {
+		d.ApplyGate(Gate{Kind: GateX, Qubits: []int{q}})
+	}
+	d.ApplyGate(Gate{Kind: GateMCP, Qubits: []int{0, 1, 2}, Theta: math.Pi / 3})
+	want := cmplx.Exp(complex(0, math.Pi/3))
+	if cmplx.Abs(d.Amplitude(0b111)-want) > tol {
+		t.Errorf("MCP phase = %v, want %v", d.Amplitude(0b111), want)
+	}
+	// Phase should not apply when a control is 0.
+	d2 := NewDense(3)
+	d2.ApplyGate(Gate{Kind: GateX, Qubits: []int{0}})
+	d2.ApplyGate(Gate{Kind: GateMCP, Qubits: []int{0, 1, 2}, Theta: math.Pi / 3})
+	if cmplx.Abs(d2.Amplitude(0b001)-1) > tol {
+		t.Error("MCP applied phase with unset control")
+	}
+}
+
+func TestRotationsPreserveNorm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDense(4)
+		// Random circuit of rotations and entanglers.
+		for i := 0; i < 30; i++ {
+			q := rng.Intn(4)
+			switch rng.Intn(6) {
+			case 0:
+				d.ApplyGate(Gate{Kind: GateRX, Qubits: []int{q}, Theta: rng.Float64() * 6})
+			case 1:
+				d.ApplyGate(Gate{Kind: GateRY, Qubits: []int{q}, Theta: rng.Float64() * 6})
+			case 2:
+				d.ApplyGate(Gate{Kind: GateRZ, Qubits: []int{q}, Theta: rng.Float64() * 6})
+			case 3:
+				d.ApplyGate(Gate{Kind: GateH, Qubits: []int{q}})
+			case 4:
+				d.ApplyGate(Gate{Kind: GateP, Qubits: []int{q}, Theta: rng.Float64() * 6})
+			default:
+				q2 := (q + 1 + rng.Intn(3)) % 4
+				d.ApplyGate(Gate{Kind: GateCX, Qubits: []int{q, q2}})
+			}
+		}
+		return math.Abs(d.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDenseTransitionMatchesEquation6(t *testing.T) {
+	// exp(-iH t)|x_p⟩ = cos t |x_p⟩ - i sin t |x_g⟩.
+	d := NewDenseBasis(bitvec.MustFromString("00010"))
+	u := []int64{1, 0, 1, 0, 1} // u3 of the paper: x_g = 10111
+	tt := 0.7
+	d.ApplyTransition(u, tt)
+	xp := bitvec.MustFromString("00010").Uint64()
+	xg := bitvec.MustFromString("10111").Uint64()
+	if cmplx.Abs(d.Amplitude(xp)-complex(math.Cos(tt), 0)) > tol {
+		t.Errorf("cos component = %v", d.Amplitude(xp))
+	}
+	if cmplx.Abs(d.Amplitude(xg)-complex(0, -math.Sin(tt))) > tol {
+		t.Errorf("-i·sin component = %v", d.Amplitude(xg))
+	}
+}
+
+func TestDenseTransitionFixedPoint(t *testing.T) {
+	// A state whose partner in both directions is non-binary must be fixed.
+	d := NewDenseBasis(bitvec.MustFromString("00010"))
+	u := []int64{-1, 1, 0, 0, 0} // x+u invalid (x0-1), x-u invalid (x1-1)
+	d.ApplyTransition(u, 1.1)
+	if cmplx.Abs(d.Amplitude(bitvec.MustFromString("00010").Uint64())-1) > tol {
+		t.Error("annihilated state should be a fixed point of the evolution")
+	}
+}
+
+func TestDenseTransitionUnitary(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDense(5)
+		for q := 0; q < 5; q++ {
+			d.ApplyGate(Gate{Kind: GateRY, Qubits: []int{q}, Theta: rng.Float64() * 3})
+		}
+		u := make([]int64, 5)
+		for i := range u {
+			u[i] = int64(rng.Intn(3) - 1)
+		}
+		d.ApplyTransition(u, rng.Float64()*3)
+		return math.Abs(d.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDenseTransitionPiOverTwoSwaps(t *testing.T) {
+	// At t = π/2 the transition fully moves the amplitude (up to phase).
+	d := NewDenseBasis(bitvec.MustFromString("00010"))
+	u := []int64{1, 0, 1, 0, 1}
+	d.ApplyTransition(u, math.Pi/2)
+	if math.Abs(d.Probability(bitvec.MustFromString("10111").Uint64())-1) > tol {
+		t.Error("t=π/2 should fully transfer the state")
+	}
+}
+
+func TestExpectationDiagonal(t *testing.T) {
+	d := NewDense(2)
+	d.ApplyGate(Gate{Kind: GateH, Qubits: []int{0}})
+	energy := []float64{1, 3, 5, 7} // states 00,10(bit0),01(bit1),11
+	got := d.ExpectationDiagonal(energy)
+	if math.Abs(got-2) > tol { // (1+3)/2
+		t.Errorf("expectation = %v, want 2", got)
+	}
+}
+
+func TestApplyDiagonalPhase(t *testing.T) {
+	d := NewDense(1)
+	d.ApplyGate(Gate{Kind: GateH, Qubits: []int{0}})
+	d.ApplyDiagonalPhase([]float64{0, math.Pi}, 1)
+	d.ApplyGate(Gate{Kind: GateH, Qubits: []int{0}})
+	// e^{-iπ} = -1 on |1⟩ turns |+⟩ into |−⟩, so H maps it to |1⟩.
+	if math.Abs(d.Probability(1)-1) > tol {
+		t.Error("diagonal phase did not act as expected")
+	}
+}
+
+func TestDenseSampleDistribution(t *testing.T) {
+	d := NewDense(2)
+	d.ApplyGate(Gate{Kind: GateH, Qubits: []int{0}})
+	rng := rand.New(rand.NewSource(7))
+	counts := d.Sample(rng, 10000)
+	c0 := counts[bitvec.MustFromString("00")]
+	c1 := counts[bitvec.MustFromString("10")]
+	if c0+c1 != 10000 {
+		t.Fatalf("samples outside support: %v", counts)
+	}
+	if c0 < 4500 || c0 > 5500 {
+		t.Errorf("biased sampling: %d/%d", c0, c1)
+	}
+}
+
+func TestRunCircuit(t *testing.T) {
+	c := NewCircuit(2)
+	c.H(0)
+	c.CX(0, 1)
+	d := NewDense(2)
+	d.Run(c)
+	if math.Abs(d.Probability(0b11)-0.5) > tol {
+		t.Error("Run did not apply circuit")
+	}
+}
+
+func TestReflectAboutUniform(t *testing.T) {
+	// One Grover iteration on N=4 with a single marked state boosts its
+	// probability from 1/4 to 1.
+	d := NewDense(2)
+	for q := 0; q < 2; q++ {
+		d.ApplyGate(Gate{Kind: GateH, Qubits: []int{q}})
+	}
+	d.SetPhaseFlip(0b11)
+	d.ReflectAboutUniform()
+	if math.Abs(d.Probability(0b11)-1) > 1e-9 {
+		t.Errorf("Grover iteration gave P=%v, want 1", d.Probability(0b11))
+	}
+	if math.Abs(d.Norm()-1) > 1e-9 {
+		t.Error("diffusion broke the norm")
+	}
+}

@@ -1,0 +1,296 @@
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"rasengan/internal/bitvec"
+)
+
+// MaxDensityQubits bounds the density-matrix simulator: a 2^n × 2^n
+// complex matrix is 16·4^n bytes, so 10 qubits (16 MiB) is the practical
+// ceiling for validation work.
+const MaxDensityQubits = 10
+
+// Density is an exact mixed-state simulator: ρ evolves under unitaries as
+// UρU† and under noise channels as Σ_k K_k ρ K_k†. It exists to validate
+// the Monte-Carlo trajectory unraveling used by the fast simulators — the
+// trajectory average must converge to the channel — and to compute exact
+// noisy expectations on small registers.
+type Density struct {
+	n   int
+	dim int
+	rho []complex128 // row-major dim×dim
+}
+
+// NewDensity returns |0...0⟩⟨0...0| over n qubits.
+func NewDensity(n int) *Density {
+	if n < 0 || n > MaxDensityQubits {
+		panic(fmt.Sprintf("quantum: density register of %d qubits out of range [0,%d]", n, MaxDensityQubits))
+	}
+	dim := 1 << uint(n)
+	d := &Density{n: n, dim: dim, rho: make([]complex128, dim*dim)}
+	d.rho[0] = 1
+	return d
+}
+
+// NewDensityFromPure returns |ψ⟩⟨ψ| for a dense pure state.
+func NewDensityFromPure(psi *Dense) *Density {
+	d := NewDensity(psi.NumQubits())
+	for i := 0; i < d.dim; i++ {
+		for j := 0; j < d.dim; j++ {
+			d.rho[i*d.dim+j] = psi.Amplitude(uint64(i)) * cmplx.Conj(psi.Amplitude(uint64(j)))
+		}
+	}
+	return d
+}
+
+// NumQubits returns the register width.
+func (d *Density) NumQubits() int { return d.n }
+
+// At returns ρ[i][j].
+func (d *Density) At(i, j int) complex128 { return d.rho[i*d.dim+j] }
+
+// Trace returns tr(ρ), which must stay 1 under trace-preserving maps.
+func (d *Density) Trace() complex128 {
+	var t complex128
+	for i := 0; i < d.dim; i++ {
+		t += d.rho[i*d.dim+i]
+	}
+	return t
+}
+
+// Purity returns tr(ρ²) ∈ (0, 1]; 1 iff the state is pure.
+func (d *Density) Purity() float64 {
+	// tr(ρ²) = Σ_ij ρ_ij ρ_ji = Σ_ij |ρ_ij|² for Hermitian ρ.
+	s := 0.0
+	for _, v := range d.rho {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return s
+}
+
+// Probability returns ⟨x|ρ|x⟩.
+func (d *Density) Probability(x uint64) float64 {
+	return real(d.rho[int(x)*d.dim+int(x)])
+}
+
+// Probabilities returns the diagonal as a distribution map.
+func (d *Density) Probabilities() map[bitvec.Vec]float64 {
+	out := map[bitvec.Vec]float64{}
+	for i := 0; i < d.dim; i++ {
+		if p := d.Probability(uint64(i)); p > 1e-14 {
+			out[bitvec.FromUint64(uint64(i), d.n)] = p
+		}
+	}
+	return out
+}
+
+// apply1QKraus applies the channel Σ_k K_k ρ K_k† where each K_k is a
+// single-qubit operator on qubit q.
+func (d *Density) apply1QKraus(q int, kraus [][2][2]complex128) {
+	dim := d.dim
+	bit := 1 << uint(q)
+	next := make([]complex128, dim*dim)
+	for _, k := range kraus {
+		// left = K ρ: rows mix in pairs (i0, i1) sharing all bits but q.
+		left := make([]complex128, dim*dim)
+		for i := 0; i < dim; i++ {
+			if i&bit != 0 {
+				continue
+			}
+			i1 := i | bit
+			for j := 0; j < dim; j++ {
+				a0, a1 := d.rho[i*dim+j], d.rho[i1*dim+j]
+				left[i*dim+j] = k[0][0]*a0 + k[0][1]*a1
+				left[i1*dim+j] = k[1][0]*a0 + k[1][1]*a1
+			}
+		}
+		// next += left K†: columns mix in pairs.
+		for j := 0; j < dim; j++ {
+			if j&bit != 0 {
+				continue
+			}
+			j1 := j | bit
+			c00, c01 := cmplx.Conj(k[0][0]), cmplx.Conj(k[0][1])
+			c10, c11 := cmplx.Conj(k[1][0]), cmplx.Conj(k[1][1])
+			for i := 0; i < dim; i++ {
+				b0, b1 := left[i*dim+j], left[i*dim+j1]
+				next[i*dim+j] += b0*c00 + b1*c01
+				next[i*dim+j1] += b0*c10 + b1*c11
+			}
+		}
+	}
+	d.rho = next
+}
+
+// ApplyGate applies a unitary gate (as a one-element Kraus set for 1-qubit
+// gates; entangling gates permute basis indices directly).
+func (d *Density) ApplyGate(g Gate) {
+	switch g.Kind {
+	case GateX, GateH, GateSX, GateRX, GateRY, GateRZ, GateP:
+		m := gate1QMatrix(g)
+		d.apply1QKraus(g.Qubits[0], [][2][2]complex128{m})
+	case GateCX, GateSWAP, GateCCX:
+		perm := gatePermutation(g, d.n)
+		d.applyPermutation(perm)
+	case GateCP, GateMCP:
+		d.applyDiagonalPhaseGate(g)
+	default:
+		panic(fmt.Sprintf("quantum: density simulator cannot apply %v", g.Kind))
+	}
+}
+
+// gate1QMatrix returns the 2×2 unitary of a single-qubit gate.
+func gate1QMatrix(g Gate) [2][2]complex128 {
+	switch g.Kind {
+	case GateX:
+		return [2][2]complex128{{0, 1}, {1, 0}}
+	case GateH:
+		s := complex(1/math.Sqrt2, 0)
+		return [2][2]complex128{{s, s}, {s, -s}}
+	case GateSX:
+		p, q := complex(0.5, 0.5), complex(0.5, -0.5)
+		return [2][2]complex128{{p, q}, {q, p}}
+	case GateRX:
+		c, s := math.Cos(g.Theta/2), math.Sin(g.Theta/2)
+		return [2][2]complex128{{complex(c, 0), complex(0, -s)}, {complex(0, -s), complex(c, 0)}}
+	case GateRY:
+		c, s := math.Cos(g.Theta/2), math.Sin(g.Theta/2)
+		return [2][2]complex128{{complex(c, 0), complex(-s, 0)}, {complex(s, 0), complex(c, 0)}}
+	case GateRZ:
+		return [2][2]complex128{{cmplx.Exp(complex(0, -g.Theta/2)), 0}, {0, cmplx.Exp(complex(0, g.Theta/2))}}
+	case GateP:
+		return [2][2]complex128{{1, 0}, {0, cmplx.Exp(complex(0, g.Theta))}}
+	default:
+		panic(fmt.Sprintf("quantum: %v is not a 1-qubit gate", g.Kind))
+	}
+}
+
+// gatePermutation returns the basis permutation of a classical
+// (permutation) gate.
+func gatePermutation(g Gate, n int) []int {
+	dim := 1 << uint(n)
+	perm := make([]int, dim)
+	for i := 0; i < dim; i++ {
+		j := i
+		switch g.Kind {
+		case GateCX:
+			cb, tb := 1<<uint(g.Qubits[0]), 1<<uint(g.Qubits[1])
+			if i&cb != 0 {
+				j = i ^ tb
+			}
+		case GateSWAP:
+			ab, bb := 1<<uint(g.Qubits[0]), 1<<uint(g.Qubits[1])
+			va, vb := i&ab != 0, i&bb != 0
+			if va != vb {
+				j = i ^ ab ^ bb
+			}
+		case GateCCX:
+			b1, b2, tb := 1<<uint(g.Qubits[0]), 1<<uint(g.Qubits[1]), 1<<uint(g.Qubits[2])
+			if i&b1 != 0 && i&b2 != 0 {
+				j = i ^ tb
+			}
+		}
+		perm[i] = j
+	}
+	return perm
+}
+
+func (d *Density) applyPermutation(perm []int) {
+	dim := d.dim
+	next := make([]complex128, dim*dim)
+	for i := 0; i < dim; i++ {
+		pi := perm[i]
+		for j := 0; j < dim; j++ {
+			next[pi*dim+perm[j]] = d.rho[i*dim+j]
+		}
+	}
+	d.rho = next
+}
+
+func (d *Density) applyDiagonalPhaseGate(g Gate) {
+	var mask int
+	for _, q := range g.Qubits {
+		mask |= 1 << uint(q)
+	}
+	e := cmplx.Exp(complex(0, g.Theta))
+	dim := d.dim
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			v := d.rho[i*dim+j]
+			if i&mask == mask {
+				v *= e
+			}
+			if j&mask == mask {
+				v *= cmplx.Conj(e)
+			}
+			d.rho[i*dim+j] = v
+		}
+	}
+}
+
+// ApplyDepolarizing applies the single-qubit depolarizing channel with
+// probability p: ρ → (1−p)ρ + p/3 (XρX + YρY + ZρZ).
+func (d *Density) ApplyDepolarizing(q int, p float64) {
+	sq := complex(math.Sqrt(1-p), 0)
+	sp := complex(math.Sqrt(p/3), 0)
+	x := [2][2]complex128{{0, sp}, {sp, 0}}
+	y := [2][2]complex128{{0, complex(0, -1) * sp}, {complex(0, 1) * sp, 0}}
+	z := [2][2]complex128{{sp, 0}, {0, -sp}}
+	id := [2][2]complex128{{sq, 0}, {0, sq}}
+	d.apply1QKraus(q, [][2][2]complex128{id, x, y, z})
+}
+
+// ApplyAmplitudeDamping applies the amplitude damping channel with rate
+// gamma: K0 = diag(1, √(1−γ)), K1 = √γ |0⟩⟨1|.
+func (d *Density) ApplyAmplitudeDamping(q int, gamma float64) {
+	k0 := [2][2]complex128{{1, 0}, {0, complex(math.Sqrt(1-gamma), 0)}}
+	k1 := [2][2]complex128{{0, complex(math.Sqrt(gamma), 0)}, {0, 0}}
+	d.apply1QKraus(q, [][2][2]complex128{k0, k1})
+}
+
+// ApplyPhaseDamping applies the phase damping channel with rate gamma:
+// K0 = diag(1, √(1−γ)), K1 = diag(0, √γ).
+func (d *Density) ApplyPhaseDamping(q int, gamma float64) {
+	k0 := [2][2]complex128{{1, 0}, {0, complex(math.Sqrt(1-gamma), 0)}}
+	k1 := [2][2]complex128{{0, 0}, {0, complex(math.Sqrt(gamma), 0)}}
+	d.apply1QKraus(q, [][2][2]complex128{k0, k1})
+}
+
+// RunNoisy evolves ρ through the circuit, applying the noise model's
+// channels after each gate exactly (the reference the trajectory
+// simulators are validated against).
+func (d *Density) RunNoisy(c *Circuit, nm *NoiseModel) {
+	for _, g := range c.Gates {
+		d.ApplyGate(g)
+		if nm.IsZero() {
+			continue
+		}
+		p := nm.depolProb(g)
+		for _, q := range g.Qubits {
+			if p > 0 {
+				d.ApplyDepolarizing(q, p)
+			}
+			if nm.AmplitudeDamping > 0 {
+				d.ApplyAmplitudeDamping(q, nm.AmplitudeDamping)
+			}
+			if nm.PhaseDamping > 0 {
+				d.ApplyPhaseDamping(q, nm.PhaseDamping)
+			}
+		}
+	}
+}
+
+// ExpectationDiagonal returns tr(ρ·diag(energy)).
+func (d *Density) ExpectationDiagonal(energy []float64) float64 {
+	if len(energy) != d.dim {
+		panic(fmt.Sprintf("quantum: energy table of %d entries for dim %d", len(energy), d.dim))
+	}
+	s := 0.0
+	for i := 0; i < d.dim; i++ {
+		s += d.Probability(uint64(i)) * energy[i]
+	}
+	return s
+}

@@ -1,0 +1,191 @@
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"rasengan/internal/bitvec"
+)
+
+func TestDensityInitial(t *testing.T) {
+	d := NewDensity(2)
+	if cmplx.Abs(d.Trace()-1) > tol {
+		t.Error("trace != 1")
+	}
+	if math.Abs(d.Purity()-1) > tol {
+		t.Error("initial state not pure")
+	}
+	if d.Probability(0) != 1 {
+		t.Error("not |00⟩")
+	}
+}
+
+func TestDensityMatchesDenseOnUnitaries(t *testing.T) {
+	// For a unitary-only circuit, the density diagonal must equal the
+	// dense state probabilities.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(3)
+		c := NewCircuit(n)
+		for i := 0; i < 12; i++ {
+			q := rng.Intn(n)
+			switch rng.Intn(5) {
+			case 0:
+				c.H(q)
+			case 1:
+				c.RY(q, rng.Float64()*3)
+			case 2:
+				c.RZ(q, rng.Float64()*3)
+			case 3:
+				c.P(q, rng.Float64()*3)
+			default:
+				c.CX(q, (q+1)%n)
+			}
+		}
+		de := NewDense(n)
+		de.Run(c)
+		rho := NewDensity(n)
+		rho.RunNoisy(c, &NoiseModel{})
+		for x := uint64(0); x < uint64(1)<<uint(n); x++ {
+			if math.Abs(de.Probability(x)-rho.Probability(x)) > 1e-9 {
+				t.Fatalf("trial %d: diagonal mismatch at %b", trial, x)
+			}
+		}
+		if math.Abs(rho.Purity()-1) > 1e-9 {
+			t.Fatalf("unitary evolution lost purity: %v", rho.Purity())
+		}
+	}
+}
+
+func TestDensityGatesMatchDenseIncludingPhases(t *testing.T) {
+	// Build |ψ⟩⟨ψ| two ways: evolve a pure state then lift, vs evolve the
+	// density directly.
+	c := NewCircuit(3)
+	c.H(0)
+	c.CX(0, 1)
+	c.CCX(0, 1, 2)
+	c.CP(1, 2, 0.8)
+	c.MCP([]int{0, 1, 2}, 0.5)
+	c.SWAP(0, 2)
+	c.RX(1, 0.9)
+
+	psi := NewDense(3)
+	psi.Run(c)
+	want := NewDensityFromPure(psi)
+
+	got := NewDensity(3)
+	got.RunNoisy(c, &NoiseModel{})
+
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if cmplx.Abs(want.At(i, j)-got.At(i, j)) > 1e-9 {
+				t.Fatalf("ρ[%d][%d]: %v vs %v", i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+func TestDepolarizingChannelExact(t *testing.T) {
+	// Full depolarizing (p = 3/4) sends any single-qubit state to I/2.
+	d := NewDensity(1)
+	d.ApplyGate(Gate{Kind: GateH, Qubits: []int{0}})
+	d.ApplyDepolarizing(0, 0.75)
+	if math.Abs(d.Probability(0)-0.5) > 1e-9 || math.Abs(d.Purity()-0.5) > 1e-9 {
+		t.Errorf("full depolarizing: P0=%v purity=%v", d.Probability(0), d.Purity())
+	}
+	if cmplx.Abs(d.Trace()-1) > 1e-9 {
+		t.Error("channel not trace preserving")
+	}
+}
+
+func TestAmplitudeDampingChannelExact(t *testing.T) {
+	// |1⟩ under damping γ: P(1) = 1−γ.
+	d := NewDensity(1)
+	d.ApplyGate(Gate{Kind: GateX, Qubits: []int{0}})
+	d.ApplyAmplitudeDamping(0, 0.3)
+	if math.Abs(d.Probability(1)-0.7) > 1e-9 {
+		t.Errorf("P(1) = %v, want 0.7", d.Probability(1))
+	}
+	if cmplx.Abs(d.Trace()-1) > 1e-9 {
+		t.Error("not trace preserving")
+	}
+}
+
+func TestPhaseDampingKillsOffDiagonals(t *testing.T) {
+	d := NewDensity(1)
+	d.ApplyGate(Gate{Kind: GateH, Qubits: []int{0}})
+	before := cmplx.Abs(d.At(0, 1))
+	d.ApplyPhaseDamping(0, 0.5)
+	after := cmplx.Abs(d.At(0, 1))
+	if after >= before {
+		t.Errorf("coherence did not decay: %v → %v", before, after)
+	}
+	// Populations unchanged by pure dephasing.
+	if math.Abs(d.Probability(0)-0.5) > 1e-9 {
+		t.Error("dephasing changed populations")
+	}
+}
+
+// TestTrajectoryUnravelingConvergesToChannel is the key validation: the
+// Monte-Carlo trajectory noise of the fast simulators must average to the
+// exact channel evolution of the density matrix.
+func TestTrajectoryUnravelingConvergesToChannel(t *testing.T) {
+	c := NewCircuit(2)
+	c.H(0)
+	c.CX(0, 1)
+	c.RY(1, 0.7)
+	c.CX(1, 0)
+	nm := &NoiseModel{OneQubitDepol: 0.05, TwoQubitDepol: 0.08, AmplitudeDamping: 0.04, PhaseDamping: 0.03}
+
+	exact := NewDensity(2)
+	exact.RunNoisy(c, nm)
+
+	const trials = 6000
+	rng := rand.New(rand.NewSource(17))
+	avg := make([]float64, 4)
+	for trial := 0; trial < trials; trial++ {
+		d := RunDenseTrajectory(c, NewDense(2), nm, rng)
+		for x := uint64(0); x < 4; x++ {
+			avg[x] += d.Probability(x)
+		}
+	}
+	for x := uint64(0); x < 4; x++ {
+		avg[x] /= trials
+		want := exact.Probability(x)
+		if math.Abs(avg[x]-want) > 0.02 {
+			t.Errorf("state %02b: trajectory avg %.4f vs channel %.4f", x, avg[x], want)
+		}
+	}
+}
+
+func TestDensityProbabilitiesMap(t *testing.T) {
+	d := NewDensity(2)
+	d.ApplyGate(Gate{Kind: GateH, Qubits: []int{0}})
+	probs := d.Probabilities()
+	if len(probs) != 2 {
+		t.Fatalf("support = %d", len(probs))
+	}
+	if math.Abs(probs[bitvec.MustFromString("00")]-0.5) > 1e-9 {
+		t.Error("probability map wrong")
+	}
+}
+
+func TestDensityExpectationDiagonal(t *testing.T) {
+	d := NewDensity(1)
+	d.ApplyGate(Gate{Kind: GateH, Qubits: []int{0}})
+	got := d.ExpectationDiagonal([]float64{2, 6})
+	if math.Abs(got-4) > 1e-9 {
+		t.Errorf("expectation = %v, want 4", got)
+	}
+}
+
+func TestDensityBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized density register accepted")
+		}
+	}()
+	NewDensity(MaxDensityQubits + 1)
+}

@@ -1,0 +1,155 @@
+package quantum
+
+import (
+	"fmt"
+	"strings"
+)
+
+// drawCell is one grid position of the ASCII rendering.
+type drawCell struct {
+	text string
+}
+
+// Draw renders the circuit as ASCII art, one row per qubit, gates in ASAP
+// layers — the inspection aid the CLI and examples use:
+//
+//	q0: ─H───●───────
+//	q1: ─────X───●───
+//	q2: ─────────X───
+func Draw(c *Circuit) string {
+	if c.NumQubits == 0 {
+		return ""
+	}
+	// Assign gates to layers with the same ASAP rule Depth uses.
+	avail := make([]int, c.NumQubits)
+	layers := [][]Gate{}
+	for _, g := range c.Gates {
+		start := 0
+		for _, q := range g.Qubits {
+			if avail[q] > start {
+				start = avail[q]
+			}
+		}
+		for len(layers) <= start {
+			layers = append(layers, nil)
+		}
+		layers[start] = append(layers[start], g)
+		for _, q := range g.Qubits {
+			avail[q] = start + 1
+		}
+	}
+
+	grid := make([][]drawCell, c.NumQubits)
+	for q := range grid {
+		grid[q] = make([]drawCell, len(layers))
+	}
+	for l, layer := range layers {
+		for _, g := range layer {
+			drawGate(grid, l, g)
+		}
+	}
+
+	colWidth := make([]int, len(layers))
+	for l := range layers {
+		w := 1
+		for q := 0; q < c.NumQubits; q++ {
+			if len(grid[q][l].text) > w {
+				w = len(grid[q][l].text)
+			}
+		}
+		colWidth[l] = w
+	}
+
+	var sb strings.Builder
+	for q := 0; q < c.NumQubits; q++ {
+		fmt.Fprintf(&sb, "q%-3d ", q)
+		for l := range layers {
+			cellText := grid[q][l].text
+			if cellText == "" {
+				cellText = strings.Repeat("─", colWidth[l])
+			} else {
+				pad := colWidth[l] - len([]rune(cellText))
+				left := pad / 2
+				cellText = strings.Repeat("─", left) + cellText + strings.Repeat("─", pad-left)
+			}
+			sb.WriteString("─")
+			sb.WriteString(cellText)
+			sb.WriteString("─")
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func drawGate(grid [][]drawCell, layer int, g Gate) {
+	label := gateLabel(g)
+	switch g.Kind {
+	case GateCX:
+		grid[g.Qubits[0]][layer].text = "●"
+		grid[g.Qubits[1]][layer].text = "X"
+		markSpan(grid, layer, g.Qubits)
+	case GateCCX:
+		grid[g.Qubits[0]][layer].text = "●"
+		grid[g.Qubits[1]][layer].text = "●"
+		grid[g.Qubits[2]][layer].text = "X"
+		markSpan(grid, layer, g.Qubits)
+	case GateSWAP:
+		grid[g.Qubits[0]][layer].text = "x"
+		grid[g.Qubits[1]][layer].text = "x"
+		markSpan(grid, layer, g.Qubits)
+	case GateCP:
+		grid[g.Qubits[0]][layer].text = "●"
+		grid[g.Qubits[1]][layer].text = label
+		markSpan(grid, layer, g.Qubits)
+	case GateMCP:
+		for _, q := range g.Qubits[:len(g.Qubits)-1] {
+			grid[q][layer].text = "●"
+		}
+		grid[g.Qubits[len(g.Qubits)-1]][layer].text = label
+		markSpan(grid, layer, g.Qubits)
+	default:
+		grid[g.Qubits[0]][layer].text = label
+	}
+}
+
+// markSpan draws vertical connectors on wires between the gate's extreme
+// qubits.
+func markSpan(grid [][]drawCell, layer int, qubits []int) {
+	lo, hi := qubits[0], qubits[0]
+	for _, q := range qubits {
+		if q < lo {
+			lo = q
+		}
+		if q > hi {
+			hi = q
+		}
+	}
+	for q := lo + 1; q < hi; q++ {
+		if grid[q][layer].text == "" {
+			grid[q][layer].text = "│"
+		}
+	}
+}
+
+func gateLabel(g Gate) string {
+	switch g.Kind {
+	case GateX:
+		return "X"
+	case GateH:
+		return "H"
+	case GateSX:
+		return "SX"
+	case GateRX:
+		return fmt.Sprintf("RX(%.2f)", g.Theta)
+	case GateRY:
+		return fmt.Sprintf("RY(%.2f)", g.Theta)
+	case GateRZ:
+		return fmt.Sprintf("RZ(%.2f)", g.Theta)
+	case GateP:
+		return fmt.Sprintf("P(%.2f)", g.Theta)
+	case GateCP, GateMCP:
+		return fmt.Sprintf("P(%.2f)", g.Theta)
+	default:
+		return g.Kind.String()
+	}
+}

@@ -1,0 +1,71 @@
+package quantum
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDrawBellCircuit(t *testing.T) {
+	c := NewCircuit(2)
+	c.H(0)
+	c.CX(0, 1)
+	out := Draw(c)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected 2 wire rows, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "H") || !strings.Contains(lines[0], "●") {
+		t.Errorf("row 0 missing H/control: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "X") {
+		t.Errorf("row 1 missing target: %q", lines[1])
+	}
+}
+
+func TestDrawConnectorsThroughMiddleWires(t *testing.T) {
+	c := NewCircuit(3)
+	c.CX(0, 2)
+	out := Draw(c)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[1], "│") {
+		t.Errorf("middle wire missing connector: %q", lines[1])
+	}
+}
+
+func TestDrawMCP(t *testing.T) {
+	c := NewCircuit(3)
+	c.MCP([]int{0, 1, 2}, 0.5)
+	out := Draw(c)
+	if strings.Count(out, "●") != 2 || !strings.Contains(out, "P(0.50)") {
+		t.Errorf("MCP rendering wrong:\n%s", out)
+	}
+}
+
+func TestDrawRotationLabels(t *testing.T) {
+	c := NewCircuit(1)
+	c.RY(0, 1.25)
+	if !strings.Contains(Draw(c), "RY(1.25)") {
+		t.Error("rotation label missing")
+	}
+}
+
+func TestDrawEmpty(t *testing.T) {
+	if Draw(NewCircuit(0)) != "" {
+		t.Error("empty circuit should render empty")
+	}
+	out := Draw(NewCircuit(2)) // wires but no gates
+	if !strings.Contains(out, "q0") || !strings.Contains(out, "q1") {
+		t.Errorf("gateless circuit missing wires:\n%s", out)
+	}
+}
+
+func TestDrawParallelGatesShareColumn(t *testing.T) {
+	c := NewCircuit(2)
+	c.H(0)
+	c.H(1)
+	out := Draw(c)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Index(lines[0], "H") != strings.Index(lines[1], "H") {
+		t.Error("parallel gates not aligned in one layer")
+	}
+}

@@ -1,0 +1,116 @@
+package quantum
+
+import (
+	"math/rand"
+	"testing"
+
+	"rasengan/internal/bitvec"
+)
+
+// Micro-benchmarks for the simulation primitives the solvers are built
+// on. Run with: go test -bench=. -benchmem ./internal/quantum/
+
+func BenchmarkDense1QGate16(b *testing.B) {
+	d := NewDense(16)
+	g := Gate{Kind: GateRY, Qubits: []int{7}, Theta: 0.4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ApplyGate(g)
+	}
+}
+
+func BenchmarkDenseCX16(b *testing.B) {
+	d := NewDense(16)
+	g := Gate{Kind: GateCX, Qubits: []int{3, 11}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ApplyGate(g)
+	}
+}
+
+func BenchmarkDenseTransition16(b *testing.B) {
+	d := NewDense(16)
+	u := make([]int64, 16)
+	u[2], u[9], u[14] = 1, -1, 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ApplyTransition(u, 0.5)
+	}
+}
+
+func BenchmarkDenseDiagonalPhase16(b *testing.B) {
+	d := NewDense(16)
+	energy := make([]float64, 1<<16)
+	for i := range energy {
+		energy[i] = float64(i % 97)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ApplyDiagonalPhase(energy, 0.3)
+	}
+}
+
+// benchSparseState builds a sparse state spread over 2^10 basis states of
+// a 64-qubit register — the regime the feasible-subspace simulator lives
+// in.
+func benchSparseState() *Sparse {
+	s := NewSparse(bitvec.New(64))
+	for q := 0; q < 10; q++ {
+		u := make([]int64, 64)
+		u[q*5] = 1
+		s.ApplyTransition(u, 0.7)
+	}
+	return s
+}
+
+func BenchmarkSparseTransition64Q1KStates(b *testing.B) {
+	s := benchSparseState()
+	u := make([]int64, 64)
+	u[1], u[33] = 1, -1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ApplyTransition(u, 0.5)
+	}
+}
+
+func BenchmarkSparseSample1K(b *testing.B) {
+	s := benchSparseState()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(rng, 1024)
+	}
+}
+
+func BenchmarkSparseFilter(b *testing.B) {
+	keep := func(v bitvec.Vec) bool { return v.OnesCount()%2 == 0 }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := benchSparseState()
+		b.StartTimer()
+		s.Filter(keep)
+	}
+}
+
+func BenchmarkDensityNoisyGate6(b *testing.B) {
+	d := NewDensity(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ApplyGate(Gate{Kind: GateRY, Qubits: []int{2}, Theta: 0.3})
+		d.ApplyDepolarizing(2, 0.01)
+	}
+}
+
+func BenchmarkTrajectoryBell(b *testing.B) {
+	c := NewCircuit(2)
+	c.H(0)
+	c.CX(0, 1)
+	nm := &NoiseModel{OneQubitDepol: 0.001, TwoQubitDepol: 0.01}
+	rng := rand.New(rand.NewSource(2))
+	init := NewDense(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunDenseTrajectory(c, init, nm, rng)
+	}
+}

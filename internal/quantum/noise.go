@@ -1,0 +1,278 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+
+	"rasengan/internal/bitvec"
+)
+
+// NoiseModel describes the NISQ error channels of the evaluation section.
+// Probabilities are per gate (for depolarizing) or per touched qubit per
+// gate (for the damping channels); readout error is per measured bit.
+type NoiseModel struct {
+	OneQubitDepol    float64 // depolarizing probability per 1-qubit gate
+	TwoQubitDepol    float64 // depolarizing probability per 2-qubit gate
+	AmplitudeDamping float64 // γ per touched qubit per gate
+	PhaseDamping     float64 // γ per touched qubit per gate
+	ReadoutError     float64 // bit-flip probability per measured qubit
+}
+
+// IsZero reports whether the model injects no errors at all.
+func (nm *NoiseModel) IsZero() bool {
+	return nm == nil || (nm.OneQubitDepol == 0 && nm.TwoQubitDepol == 0 &&
+		nm.AmplitudeDamping == 0 && nm.PhaseDamping == 0 && nm.ReadoutError == 0)
+}
+
+// depolProb returns the depolarizing probability applicable to gate g.
+func (nm *NoiseModel) depolProb(g Gate) float64 {
+	if g.IsTwoQubitOrMore() {
+		return nm.TwoQubitDepol
+	}
+	return nm.OneQubitDepol
+}
+
+// SurvivalProb returns the probability that a circuit with the given gate
+// mix executes without a single depolarizing event — the first-order
+// fidelity proxy used by analytic latency/quality models.
+func (nm *NoiseModel) SurvivalProb(numOneQ, numTwoQ int) float64 {
+	if nm == nil {
+		return 1
+	}
+	return math.Pow(1-nm.OneQubitDepol, float64(numOneQ)) *
+		math.Pow(1-nm.TwoQubitDepol, float64(numTwoQ))
+}
+
+// ApplyReadout flips each bit of x independently with the readout error
+// probability, modeling measurement misassignment.
+func (nm *NoiseModel) ApplyReadout(x bitvec.Vec, rng *rand.Rand) bitvec.Vec {
+	if nm == nil || nm.ReadoutError == 0 {
+		return x
+	}
+	for i := 0; i < x.Len(); i++ {
+		if rng.Float64() < nm.ReadoutError {
+			x.Flip(i)
+		}
+	}
+	return x
+}
+
+// --- Dense trajectory channels ---
+
+// afterGateDense injects one trajectory's worth of noise after gate g.
+func (nm *NoiseModel) afterGateDense(d *Dense, g Gate, rng *rand.Rand) {
+	p := nm.depolProb(g)
+	for _, q := range g.Qubits {
+		if p > 0 && rng.Float64() < p {
+			applyRandomPauliDense(d, q, rng)
+		}
+		if nm.AmplitudeDamping > 0 {
+			amplitudeDampDense(d, q, nm.AmplitudeDamping, rng)
+		}
+		if nm.PhaseDamping > 0 {
+			phaseDampDense(d, q, nm.PhaseDamping, rng)
+		}
+	}
+}
+
+func applyRandomPauliDense(d *Dense, q int, rng *rand.Rand) {
+	switch rng.Intn(3) {
+	case 0:
+		d.ApplyGate(Gate{Kind: GateX, Qubits: []int{q}})
+	case 1:
+		// Y = iXZ: apply as a 1-qubit matrix directly.
+		d.Apply1Q(q, [2][2]complex128{{0, complex(0, -1)}, {complex(0, 1), 0}})
+	default:
+		d.Apply1Q(q, [2][2]complex128{{1, 0}, {0, -1}})
+	}
+}
+
+// prob1Dense returns P(qubit q = 1).
+func prob1Dense(d *Dense, q int) float64 {
+	bit := uint64(1) << uint(q)
+	p := 0.0
+	for i, a := range d.amps {
+		if uint64(i)&bit != 0 {
+			p += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	return p
+}
+
+// amplitudeDampDense applies one quantum-trajectory step of the amplitude
+// damping channel with Kraus operators K0 = diag(1, √(1−γ)),
+// K1 = √γ·|0⟩⟨1|.
+func amplitudeDampDense(d *Dense, q int, gamma float64, rng *rand.Rand) {
+	p1 := prob1Dense(d, q)
+	pJump := gamma * p1
+	bit := uint64(1) << uint(q)
+	if rng.Float64() < pJump {
+		// Jump: |1⟩ decays to |0⟩.
+		for i := range d.amps {
+			idx := uint64(i)
+			if idx&bit != 0 {
+				d.amps[idx&^bit] = d.amps[idx]
+				d.amps[idx] = 0
+			}
+		}
+	} else {
+		// No-jump evolution damps the |1⟩ component.
+		f := complex(math.Sqrt(1-gamma), 0)
+		for i := range d.amps {
+			if uint64(i)&bit != 0 {
+				d.amps[i] *= f
+			}
+		}
+	}
+	d.Normalize()
+}
+
+// phaseDampDense applies one trajectory step of the phase damping channel
+// with K0 = diag(1, √(1−γ)), K1 = diag(0, √γ).
+func phaseDampDense(d *Dense, q int, gamma float64, rng *rand.Rand) {
+	p1 := prob1Dense(d, q)
+	pJump := gamma * p1
+	bit := uint64(1) << uint(q)
+	if rng.Float64() < pJump {
+		// Jump projects onto qubit=1, destroying coherence with |0⟩.
+		for i := range d.amps {
+			if uint64(i)&bit == 0 {
+				d.amps[i] = 0
+			}
+		}
+	} else {
+		f := complex(math.Sqrt(1-gamma), 0)
+		for i := range d.amps {
+			if uint64(i)&bit != 0 {
+				d.amps[i] *= f
+			}
+		}
+	}
+	d.Normalize()
+}
+
+// RunDenseTrajectory evolves |init⟩ through circuit c with one stochastic
+// noise trajectory and returns the final state. A nil or zero noise model
+// reduces to ideal simulation.
+func RunDenseTrajectory(c *Circuit, init *Dense, nm *NoiseModel, rng *rand.Rand) *Dense {
+	d := init.Clone()
+	for _, g := range c.Gates {
+		d.ApplyGate(g)
+		if !nm.IsZero() {
+			nm.afterGateDense(d, g, rng)
+		}
+	}
+	return d
+}
+
+// SampleDenseNoisy draws shots measurements from the noisy execution of c,
+// using trajectories independent noise realizations (shots are split
+// evenly across trajectories; trajectories ≤ shots). Readout errors are
+// applied per shot.
+func SampleDenseNoisy(c *Circuit, init *Dense, nm *NoiseModel, shots, trajectories int, rng *rand.Rand) map[bitvec.Vec]int {
+	if trajectories <= 0 || trajectories > shots {
+		trajectories = shots
+	}
+	out := make(map[bitvec.Vec]int)
+	base := shots / trajectories
+	extra := shots % trajectories
+	for t := 0; t < trajectories; t++ {
+		n := base
+		if t < extra {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		d := RunDenseTrajectory(c, init, nm, rng)
+		for x, cnt := range d.Sample(rng, n) {
+			if !nm.IsZero() {
+				for i := 0; i < cnt; i++ {
+					out[nm.ApplyReadout(x, rng)]++
+				}
+			} else {
+				out[x] += cnt
+			}
+		}
+	}
+	return out
+}
+
+// --- Sparse trajectory channels ---
+
+// ApplyDepolarizingSparse injects, with probability p, a uniformly random
+// Pauli error on qubit q of the sparse state.
+func ApplyDepolarizingSparse(s *Sparse, q int, p float64, rng *rand.Rand) {
+	if p <= 0 || rng.Float64() >= p {
+		return
+	}
+	switch rng.Intn(3) {
+	case 0:
+		s.ApplyX(q)
+	case 1:
+		s.ApplyY(q)
+	default:
+		s.ApplyZ(q)
+	}
+}
+
+func prob1Sparse(s *Sparse, q int) float64 {
+	p := 0.0
+	for k, a := range s.amps {
+		if k.Bit(q) {
+			p += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	return p
+}
+
+// ApplyAmplitudeDampingSparse applies one trajectory step of amplitude
+// damping with rate gamma to qubit q.
+func ApplyAmplitudeDampingSparse(s *Sparse, q int, gamma float64, rng *rand.Rand) {
+	if gamma <= 0 {
+		return
+	}
+	p1 := prob1Sparse(s, q)
+	if rng.Float64() < gamma*p1 {
+		next := make(map[bitvec.Vec]complex128, len(s.amps))
+		for k, a := range s.amps {
+			if k.Bit(q) {
+				k.Set(q, false)
+				next[k] = a
+			}
+		}
+		s.amps = next
+	} else {
+		f := complex(math.Sqrt(1-gamma), 0)
+		for k, a := range s.amps {
+			if k.Bit(q) {
+				s.amps[k] = a * f
+			}
+		}
+	}
+	s.Normalize()
+}
+
+// ApplyPhaseDampingSparse applies one trajectory step of phase damping
+// with rate gamma to qubit q.
+func ApplyPhaseDampingSparse(s *Sparse, q int, gamma float64, rng *rand.Rand) {
+	if gamma <= 0 {
+		return
+	}
+	p1 := prob1Sparse(s, q)
+	if rng.Float64() < gamma*p1 {
+		for k := range s.amps {
+			if !k.Bit(q) {
+				delete(s.amps, k)
+			}
+		}
+	} else {
+		f := complex(math.Sqrt(1-gamma), 0)
+		for k, a := range s.amps {
+			if k.Bit(q) {
+				s.amps[k] = a * f
+			}
+		}
+	}
+	s.Normalize()
+}

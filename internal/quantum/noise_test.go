@@ -1,0 +1,194 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rasengan/internal/bitvec"
+)
+
+func TestNoiseModelZero(t *testing.T) {
+	var nm *NoiseModel
+	if !nm.IsZero() {
+		t.Error("nil model should be zero")
+	}
+	nm2 := &NoiseModel{}
+	if !nm2.IsZero() {
+		t.Error("empty model should be zero")
+	}
+	nm3 := &NoiseModel{TwoQubitDepol: 0.01}
+	if nm3.IsZero() {
+		t.Error("nonzero model reported zero")
+	}
+}
+
+func TestSurvivalProb(t *testing.T) {
+	nm := &NoiseModel{OneQubitDepol: 0.001, TwoQubitDepol: 0.01}
+	got := nm.SurvivalProb(10, 5)
+	want := math.Pow(0.999, 10) * math.Pow(0.99, 5)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("survival = %v, want %v", got, want)
+	}
+}
+
+func TestNoiselessTrajectoryIsIdeal(t *testing.T) {
+	c := NewCircuit(2)
+	c.H(0)
+	c.CX(0, 1)
+	rng := rand.New(rand.NewSource(1))
+	d := RunDenseTrajectory(c, NewDense(2), &NoiseModel{}, rng)
+	if math.Abs(d.Probability(0b11)-0.5) > tol {
+		t.Error("zero-noise trajectory deviates from ideal")
+	}
+}
+
+func TestDepolarizingCorruptsBasisState(t *testing.T) {
+	// A circuit of many noisy X pairs on |0⟩ should sometimes end off |0⟩.
+	c := NewCircuit(1)
+	for i := 0; i < 50; i++ {
+		c.X(0)
+		c.X(0)
+	}
+	nm := &NoiseModel{OneQubitDepol: 0.05}
+	rng := rand.New(rand.NewSource(11))
+	off := 0
+	for trial := 0; trial < 50; trial++ {
+		d := RunDenseTrajectory(c, NewDense(1), nm, rng)
+		if d.Probability(0) < 0.5 {
+			off++
+		}
+	}
+	if off == 0 {
+		t.Error("depolarizing noise never flipped the state")
+	}
+}
+
+func TestAmplitudeDampingDrivesToZeroState(t *testing.T) {
+	// Strong amplitude damping across many idle gates relaxes |1⟩ → |0⟩.
+	c := NewCircuit(1)
+	c.X(0)
+	for i := 0; i < 200; i++ {
+		c.RZ(0, 0.01) // idle-ish gates that trigger the damping channel
+	}
+	nm := &NoiseModel{AmplitudeDamping: 0.05}
+	rng := rand.New(rand.NewSource(5))
+	relaxed := 0
+	for trial := 0; trial < 30; trial++ {
+		d := RunDenseTrajectory(c, NewDense(1), nm, rng)
+		if d.Probability(0) > 0.99 {
+			relaxed++
+		}
+	}
+	if relaxed < 25 {
+		t.Errorf("amplitude damping relaxed only %d/30 trajectories", relaxed)
+	}
+}
+
+func TestPhaseDampingKillsCoherence(t *testing.T) {
+	// |+⟩ under heavy phase damping then H should no longer return |0⟩
+	// deterministically (averaged over trajectories).
+	c := NewCircuit(1)
+	c.H(0)
+	for i := 0; i < 100; i++ {
+		c.RZ(0, 0)
+	}
+	c.H(0)
+	nm := &NoiseModel{PhaseDamping: 0.1}
+	rng := rand.New(rand.NewSource(9))
+	sum := 0.0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		d := RunDenseTrajectory(c, NewDense(1), nm, rng)
+		sum += d.Probability(1)
+	}
+	avg := sum / trials
+	if avg < 0.3 {
+		t.Errorf("phase damping left too much coherence: P(1)=%v", avg)
+	}
+}
+
+func TestReadoutError(t *testing.T) {
+	nm := &NoiseModel{ReadoutError: 1.0}
+	rng := rand.New(rand.NewSource(2))
+	x := nm.ApplyReadout(bitvec.MustFromString("0101"), rng)
+	if x.String() != "1010" {
+		t.Errorf("readout error 1.0 should flip all bits, got %s", x)
+	}
+}
+
+func TestSampleDenseNoisyShotCount(t *testing.T) {
+	c := NewCircuit(2)
+	c.H(0)
+	nm := &NoiseModel{TwoQubitDepol: 0.02}
+	rng := rand.New(rand.NewSource(8))
+	counts := SampleDenseNoisy(c, NewDense(2), nm, 137, 10, rng)
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 137 {
+		t.Errorf("shots = %d, want 137", total)
+	}
+}
+
+func TestSparseDepolarizingInjectsErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	flipped := 0
+	for trial := 0; trial < 200; trial++ {
+		s := NewSparse(bitvec.MustFromString("0000"))
+		ApplyDepolarizingSparse(s, 1, 0.5, rng)
+		if s.Amplitude(bitvec.MustFromString("0000")) == 0 {
+			flipped++
+		}
+	}
+	// p=0.5, 2/3 of Paulis move the basis state: expect ~66 flips.
+	if flipped < 30 || flipped > 110 {
+		t.Errorf("flip count %d outside expected band", flipped)
+	}
+}
+
+func TestSparseAmplitudeDamping(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	collapsed := 0
+	for trial := 0; trial < 300; trial++ {
+		s := NewSparse(bitvec.MustFromString("1"))
+		ApplyAmplitudeDampingSparse(s, 0, 0.3, rng)
+		if s.Amplitude(bitvec.MustFromString("0")) != 0 {
+			collapsed++
+		}
+	}
+	// For a basis |1⟩ state, jump probability is exactly γ = 0.3.
+	if collapsed < 50 || collapsed > 130 {
+		t.Errorf("collapse count %d outside expected band", collapsed)
+	}
+}
+
+func TestSparsePhaseDampingLeavesBasisStates(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	s := NewSparse(bitvec.MustFromString("1"))
+	ApplyPhaseDampingSparse(s, 0, 0.4, rng)
+	// A basis state is an eigenstate of dephasing: probability unchanged.
+	p := s.Norm()
+	if math.Abs(p-1) > 1e-9 {
+		t.Errorf("phase damping changed basis state norm to %v", p)
+	}
+}
+
+func TestNoisySparseEvolutionStaysNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	s := NewSparse(bitvec.New(6))
+	for step := 0; step < 20; step++ {
+		u := make([]int64, 6)
+		u[step%6] = 1
+		if step%2 == 0 {
+			u[step%6] = -1
+		}
+		s.ApplyTransition(u, 0.4)
+		ApplyDepolarizingSparse(s, step%6, 0.1, rng)
+		ApplyAmplitudeDampingSparse(s, (step+1)%6, 0.02, rng)
+	}
+	if math.Abs(s.Norm()-1) > 1e-6 {
+		t.Errorf("norm drifted to %v", s.Norm())
+	}
+}

@@ -1,0 +1,237 @@
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rasengan/internal/bitvec"
+)
+
+func TestSparseTransitionMatchesDense(t *testing.T) {
+	// The sparse and dense simulators must agree on transition chains.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(3)
+		start := bitvec.New(n)
+		for i := 0; i < n; i++ {
+			start.Set(i, rng.Intn(2) == 1)
+		}
+		sp := NewSparse(start)
+		de := NewDenseBasis(start)
+		for step := 0; step < 6; step++ {
+			u := make([]int64, n)
+			for i := range u {
+				u[i] = int64(rng.Intn(3) - 1)
+			}
+			tt := rng.Float64() * 3
+			sp.ApplyTransition(u, tt)
+			de.ApplyTransition(u, tt)
+		}
+		for x := uint64(0); x < uint64(1)<<uint(n); x++ {
+			v := bitvec.FromUint64(x, n)
+			if cmplx.Abs(sp.Amplitude(v)-de.Amplitude(x)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparseTransitionEquation6(t *testing.T) {
+	xp := bitvec.MustFromString("00010")
+	s := NewSparse(xp)
+	u := []int64{1, 0, 1, 0, 1}
+	tt := 0.9
+	s.ApplyTransition(u, tt)
+	xg := bitvec.MustFromString("10111")
+	if cmplx.Abs(s.Amplitude(xp)-complex(math.Cos(tt), 0)) > tol {
+		t.Errorf("cos component wrong: %v", s.Amplitude(xp))
+	}
+	if cmplx.Abs(s.Amplitude(xg)-complex(0, -math.Sin(tt))) > tol {
+		t.Errorf("-i·sin component wrong: %v", s.Amplitude(xg))
+	}
+	if s.Size() != 2 {
+		t.Errorf("support = %d, want 2", s.Size())
+	}
+}
+
+func TestSparseTransitionInverse(t *testing.T) {
+	// Applying the same transition with -t must undo it.
+	xp := bitvec.MustFromString("0010")
+	s := NewSparse(xp)
+	u := []int64{1, 0, -1, 1}
+	s.ApplyTransition(u, 0.8)
+	s.ApplyTransition(u, -0.8)
+	if cmplx.Abs(s.Amplitude(xp)-1) > 1e-9 {
+		t.Error("transition with -t did not invert")
+	}
+}
+
+func TestSparseNormPreservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		start := bitvec.New(n)
+		for i := 0; i < n; i++ {
+			start.Set(i, rng.Intn(2) == 1)
+		}
+		s := NewSparse(start)
+		for step := 0; step < 10; step++ {
+			u := make([]int64, n)
+			for i := range u {
+				u[i] = int64(rng.Intn(3) - 1)
+			}
+			s.ApplyTransition(u, rng.Float64()*3)
+		}
+		return math.Abs(s.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparsePaulis(t *testing.T) {
+	x := bitvec.MustFromString("01")
+	s := NewSparse(x)
+	s.ApplyX(0)
+	if cmplx.Abs(s.Amplitude(bitvec.MustFromString("11"))-1) > tol {
+		t.Error("X failed")
+	}
+	s.ApplyZ(0)
+	if cmplx.Abs(s.Amplitude(bitvec.MustFromString("11"))+1) > tol {
+		t.Error("Z failed")
+	}
+	s2 := NewSparse(bitvec.MustFromString("0"))
+	s2.ApplyY(0)
+	if cmplx.Abs(s2.Amplitude(bitvec.MustFromString("1"))-complex(0, 1)) > tol {
+		t.Error("Y on |0⟩ should give i|1⟩")
+	}
+}
+
+func TestSparsePhase(t *testing.T) {
+	s := NewSparse(bitvec.MustFromString("1"))
+	s.ApplyPhase(0, math.Pi/2)
+	if cmplx.Abs(s.Amplitude(bitvec.MustFromString("1"))-complex(0, 1)) > tol {
+		t.Error("phase gate failed")
+	}
+}
+
+func TestSparseFilterPurification(t *testing.T) {
+	s := NewSparse(bitvec.MustFromString("00"))
+	s.ApplyTransition([]int64{1, 0}, math.Pi/4) // 1/√2 each on 00, 10
+	kept := s.Filter(func(v bitvec.Vec) bool { return !v.Bit(0) })
+	if math.Abs(kept-0.5) > 1e-9 {
+		t.Errorf("kept mass = %v, want 0.5", kept)
+	}
+	if s.Size() != 1 {
+		t.Errorf("support after filter = %d", s.Size())
+	}
+	s.Normalize()
+	if math.Abs(s.Norm()-1) > 1e-9 {
+		t.Error("not renormalized")
+	}
+}
+
+func TestSparseSample(t *testing.T) {
+	s := NewSparse(bitvec.MustFromString("000"))
+	s.ApplyTransition([]int64{1, 1, 0}, math.Pi/4)
+	rng := rand.New(rand.NewSource(3))
+	counts := s.Sample(rng, 8000)
+	a := counts[bitvec.MustFromString("000")]
+	b := counts[bitvec.MustFromString("110")]
+	if a+b != 8000 {
+		t.Fatalf("samples escaped support: %v", counts)
+	}
+	if a < 3600 || a > 4400 {
+		t.Errorf("biased: %d vs %d", a, b)
+	}
+}
+
+func TestSparseSupportDeterministic(t *testing.T) {
+	s := NewSparse(bitvec.MustFromString("000"))
+	s.ApplyTransition([]int64{1, 0, 0}, 0.5)
+	s.ApplyTransition([]int64{0, 1, 0}, 0.5)
+	sup1 := s.Support()
+	sup2 := s.Support()
+	if len(sup1) != 4 {
+		t.Fatalf("support size %d, want 4", len(sup1))
+	}
+	for i := range sup1 {
+		if !sup1[i].Equal(sup2[i]) {
+			t.Error("Support order not deterministic")
+		}
+	}
+}
+
+func TestSparseCloneIndependent(t *testing.T) {
+	s := NewSparse(bitvec.MustFromString("00"))
+	c := s.Clone()
+	c.ApplyX(0)
+	if cmplx.Abs(s.Amplitude(bitvec.MustFromString("00"))-1) > tol {
+		t.Error("Clone shares state")
+	}
+}
+
+func TestSparseStateGrowthBounded(t *testing.T) {
+	// m transitions can create at most 2^m states, and for feasible-seeded
+	// Rasengan chains the support never leaves the feasible span. Check
+	// growth bound.
+	s := NewSparse(bitvec.New(8))
+	moves := [][]int64{
+		{1, 0, 0, 0, 0, 0, 0, 0},
+		{0, 1, 0, 0, 0, 0, 0, 0},
+		{0, 0, 1, 0, 0, 0, 0, 0},
+	}
+	for _, u := range moves {
+		s.ApplyTransition(u, 0.6)
+	}
+	if s.Size() > 8 {
+		t.Errorf("support %d exceeds 2^3", s.Size())
+	}
+}
+
+func TestSparseDiagonalPhaseMatchesDense(t *testing.T) {
+	// ApplyDiagonalPhaseFunc must agree with the dense table version.
+	n := 4
+	energy := func(v bitvec.Vec) float64 { return float64(v.OnesCount()) * 1.3 }
+	table := make([]float64, 1<<uint(n))
+	for i := range table {
+		table[i] = energy(bitvec.FromUint64(uint64(i), n))
+	}
+	sp := NewSparse(bitvec.New(n))
+	de := NewDense(n)
+	// Spread both states over several basis vectors first.
+	moves := [][]int64{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, -0}}
+	for _, u := range moves {
+		sp.ApplyTransition(u, 0.6)
+		de.ApplyTransition(u, 0.6)
+	}
+	gamma := 0.37
+	sp.ApplyDiagonalPhaseFunc(energy, gamma)
+	de.ApplyDiagonalPhase(table, gamma)
+	for x := uint64(0); x < uint64(1)<<uint(n); x++ {
+		v := bitvec.FromUint64(x, n)
+		if cmplx.Abs(sp.Amplitude(v)-de.Amplitude(x)) > 1e-9 {
+			t.Fatalf("phase mismatch at %v", v)
+		}
+	}
+}
+
+func TestSparseSetAmplitude(t *testing.T) {
+	s := NewSparseEmpty(3)
+	x := bitvec.MustFromString("101")
+	s.SetAmplitude(x, complex(0.6, 0))
+	if s.Size() != 1 {
+		t.Error("SetAmplitude did not store")
+	}
+	s.SetAmplitude(x, 0)
+	if s.Size() != 0 {
+		t.Error("zero amplitude should delete the key")
+	}
+}

@@ -1,0 +1,149 @@
+// Package textplot renders small data series as Unicode terminal
+// graphics — horizontal bar charts and multi-series line plots — so the
+// figure harnesses can show the *shape* the paper's plots show, not just
+// number tables.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders a horizontal bar chart with the given total width for
+// the bar area. Negative and NaN values render as empty bars with the
+// numeric value still shown.
+func BarChart(title string, bars []Bar, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxVal := 0.0
+	labelW := 0
+	for _, b := range bars {
+		if b.Value > maxVal {
+			maxVal = b.Value
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	for _, b := range bars {
+		n := 0
+		if maxVal > 0 && b.Value > 0 && !math.IsNaN(b.Value) {
+			n = int(math.Round(b.Value / maxVal * float64(width)))
+			if n == 0 {
+				n = 1 // visible sliver for tiny nonzero values
+			}
+		}
+		fmt.Fprintf(&sb, "%-*s │%-*s %s\n", labelW, b.Label, width, strings.Repeat("█", n), formatVal(b.Value))
+	}
+	return sb.String()
+}
+
+// Series is one named line of a line plot.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// LinePlot renders one or more series on a shared y-scale as a
+// rows×cols character grid, using a distinct glyph per series. X positions
+// are the value indices, spread across the width.
+func LinePlot(title string, series []Series, rows, cols int) string {
+	if rows <= 0 {
+		rows = 10
+	}
+	if cols <= 0 {
+		cols = 60
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range series {
+		for _, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			minV = math.Min(minV, v)
+			maxV = math.Max(maxV, v)
+		}
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	if maxLen == 0 || math.IsInf(minV, 1) {
+		return title + "\n(no data)\n"
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			c := 0
+			if maxLen > 1 {
+				c = i * (cols - 1) / (maxLen - 1)
+			}
+			r := int(math.Round((maxV - v) / (maxV - minV) * float64(rows-1)))
+			grid[r][c] = g
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	for r, line := range grid {
+		prefix := "        "
+		switch r {
+		case 0:
+			prefix = fmt.Sprintf("%7s ", formatVal(maxV))
+		case rows - 1:
+			prefix = fmt.Sprintf("%7s ", formatVal(minV))
+		}
+		sb.WriteString(prefix)
+		sb.WriteString("┤")
+		sb.Write(line)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("        └" + strings.Repeat("─", cols) + "\n")
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], s.Name))
+	}
+	sb.WriteString("        " + strings.Join(legend, "   ") + "\n")
+	return sb.String()
+}
+
+func formatVal(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case v == 0:
+		return "0"
+	case math.Abs(v) < 0.01 || math.Abs(v) >= 100000:
+		return fmt.Sprintf("%.2g", v)
+	case math.Abs(v) < 100:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

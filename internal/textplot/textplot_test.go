@@ -1,0 +1,83 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBarChartBasics(t *testing.T) {
+	out := BarChart("test", []Bar{
+		{Label: "a", Value: 10},
+		{Label: "bb", Value: 5},
+		{Label: "c", Value: 0},
+	}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	aBars := strings.Count(lines[1], "█")
+	bBars := strings.Count(lines[2], "█")
+	cBars := strings.Count(lines[3], "█")
+	if aBars != 20 {
+		t.Errorf("max bar should fill width: %d", aBars)
+	}
+	if bBars != 10 {
+		t.Errorf("half bar = %d, want 10", bBars)
+	}
+	if cBars != 0 {
+		t.Errorf("zero bar = %d", cBars)
+	}
+}
+
+func TestBarChartTinyNonzeroVisible(t *testing.T) {
+	out := BarChart("", []Bar{{Label: "big", Value: 1000}, {Label: "tiny", Value: 0.001}}, 30)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Count(lines[1], "█") < 1 {
+		t.Error("tiny nonzero value should render a sliver")
+	}
+}
+
+func TestBarChartNaN(t *testing.T) {
+	out := BarChart("", []Bar{{Label: "x", Value: math.NaN()}}, 10)
+	if !strings.Contains(out, "NaN") {
+		t.Error("NaN not surfaced")
+	}
+	if strings.Contains(out, "█") {
+		t.Error("NaN should not draw a bar")
+	}
+}
+
+func TestLinePlotShape(t *testing.T) {
+	out := LinePlot("plot", []Series{
+		{Name: "up", Values: []float64{0, 1, 2, 3, 4}},
+		{Name: "down", Values: []float64{4, 3, 2, 1, 0}},
+	}, 5, 40)
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Error("legend missing")
+	}
+	lines := strings.Split(out, "\n")
+	// The rising series ends top-right; the falling one starts top-left.
+	top := lines[1]
+	if !strings.Contains(top, "*") || !strings.Contains(top, "o") {
+		t.Errorf("top row should hold both extremes: %q", top)
+	}
+	// Axis labels show the scale.
+	if !strings.Contains(out, "4.00") || !strings.Contains(out, "0") {
+		t.Error("y-axis labels missing")
+	}
+}
+
+func TestLinePlotEmpty(t *testing.T) {
+	out := LinePlot("t", []Series{{Name: "none"}}, 4, 10)
+	if !strings.Contains(out, "no data") {
+		t.Error("empty series not handled")
+	}
+}
+
+func TestLinePlotConstantSeries(t *testing.T) {
+	out := LinePlot("", []Series{{Name: "flat", Values: []float64{2, 2, 2}}}, 4, 12)
+	if strings.Contains(out, "no data") {
+		t.Error("constant series should still plot")
+	}
+}

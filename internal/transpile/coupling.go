@@ -1,0 +1,198 @@
+package transpile
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CouplingMap is an undirected device connectivity graph over physical
+// qubits 0..N-1. CX gates are only executable between coupled pairs;
+// routing inserts SWAPs otherwise.
+type CouplingMap struct {
+	N   int
+	adj [][]int
+}
+
+// NewCouplingMap builds a map from an edge list.
+func NewCouplingMap(n int, edges [][2]int) *CouplingMap {
+	cm := &CouplingMap{N: n, adj: make([][]int, n)}
+	seen := map[[2]int]bool{}
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if a == b || a < 0 || b < 0 || a >= n || b >= n {
+			panic(fmt.Sprintf("transpile: bad edge %v for %d qubits", e, n))
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			continue
+		}
+		seen[[2]int{a, b}] = true
+		cm.adj[a] = append(cm.adj[a], b)
+		cm.adj[b] = append(cm.adj[b], a)
+	}
+	for i := range cm.adj {
+		sort.Ints(cm.adj[i])
+	}
+	return cm
+}
+
+// Linear returns a 1-D chain coupling of n qubits, the simplest topology
+// and a useful worst case for routing overhead.
+func Linear(n int) *CouplingMap {
+	edges := make([][2]int, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	return NewCouplingMap(n, edges)
+}
+
+// FullyConnected returns an all-to-all coupling (ideal hardware / trapped
+// ion style), useful to isolate algorithmic depth from routing overhead.
+func FullyConnected(n int) *CouplingMap {
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	return NewCouplingMap(n, edges)
+}
+
+// HeavyHex builds an IBM Eagle-style heavy-hex lattice: `rows` long rows
+// of `rowLen` linearly coupled qubits, with bridge qubits between
+// consecutive rows every four columns, alternating offset 0 / 2 — the
+// topology of the 127-qubit devices the paper deploys on. rows=7,
+// rowLen=15 yields 129 qubits; the two corner qubits are trimmed to match
+// the 127-qubit Eagle count.
+func HeavyHex(rows, rowLen int) *CouplingMap {
+	if rows < 1 || rowLen < 1 {
+		panic(fmt.Sprintf("transpile: bad heavy-hex shape %dx%d", rows, rowLen))
+	}
+	type qid struct{ row, col int } // col -1.. for bridges encoded separately
+	id := map[[3]int]int{}          // {kind(0=row,1=bridge), a, b} -> physical id
+	next := 0
+	rowQ := func(r, c int) int {
+		k := [3]int{0, r, c}
+		if v, ok := id[k]; ok {
+			return v
+		}
+		id[k] = next
+		next++
+		return id[k]
+	}
+	bridgeQ := func(gap, c int) int {
+		k := [3]int{1, gap, c}
+		if v, ok := id[k]; ok {
+			return v
+		}
+		id[k] = next
+		next++
+		return id[k]
+	}
+	var edges [][2]int
+	trim := map[int]bool{}
+	for r := 0; r < rows; r++ {
+		for c := 0; c+1 < rowLen; c++ {
+			edges = append(edges, [2]int{rowQ(r, c), rowQ(r, c+1)})
+		}
+	}
+	// Trim the two corners to land on 127 for the canonical 7x15 shape.
+	if rows == 7 && rowLen == 15 {
+		trim[rowQ(0, rowLen-1)] = true
+		trim[rowQ(rows-1, 0)] = true
+	}
+	for g := 0; g+1 < rows; g++ {
+		off := 0
+		if g%2 == 1 {
+			off = 2
+		}
+		for c := off; c < rowLen; c += 4 {
+			b := bridgeQ(g, c)
+			edges = append(edges, [2]int{rowQ(g, c), b})
+			edges = append(edges, [2]int{b, rowQ(g+1, c)})
+		}
+	}
+	if len(trim) == 0 {
+		return NewCouplingMap(next, edges)
+	}
+	// Compact ids, dropping trimmed qubits and their edges.
+	remap := make([]int, next)
+	for i := range remap {
+		remap[i] = -1
+	}
+	n := 0
+	for i := 0; i < next; i++ {
+		if !trim[i] {
+			remap[i] = n
+			n++
+		}
+	}
+	var kept [][2]int
+	for _, e := range edges {
+		if remap[e[0]] >= 0 && remap[e[1]] >= 0 {
+			kept = append(kept, [2]int{remap[e[0]], remap[e[1]]})
+		}
+	}
+	return NewCouplingMap(n, kept)
+}
+
+// Coupled reports whether physical qubits a and b share an edge.
+func (cm *CouplingMap) Coupled(a, b int) bool {
+	for _, x := range cm.adj[a] {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the adjacency list of q (shared; do not mutate).
+func (cm *CouplingMap) Neighbors(q int) []int { return cm.adj[q] }
+
+// ShortestPath returns a shortest path from a to b inclusive, or nil if
+// disconnected.
+func (cm *CouplingMap) ShortestPath(a, b int) []int {
+	if a == b {
+		return []int{a}
+	}
+	prev := make([]int, cm.N)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[a] = a
+	queue := []int{a}
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		for _, w := range cm.adj[q] {
+			if prev[w] != -1 {
+				continue
+			}
+			prev[w] = q
+			if w == b {
+				var path []int
+				for x := b; x != a; x = prev[x] {
+					path = append(path, x)
+				}
+				path = append(path, a)
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, w)
+		}
+	}
+	return nil
+}
+
+// Distance returns the coupling-graph distance between a and b, or -1.
+func (cm *CouplingMap) Distance(a, b int) int {
+	p := cm.ShortestPath(a, b)
+	if p == nil {
+		return -1
+	}
+	return len(p) - 1
+}

@@ -1,0 +1,119 @@
+package transpile
+
+import (
+	"sort"
+
+	"rasengan/internal/quantum"
+)
+
+// ChooseLayout picks an initial logical→physical placement that keeps
+// strongly interacting logical qubits adjacent on the coupling map,
+// shrinking the SWAP overhead of routing. The heuristic is a greedy
+// subgraph embedding: logical qubits are visited in order of interaction
+// weight; the first is pinned to the highest-degree physical qubit, and
+// each subsequent one goes to the free physical qubit minimizing the
+// weighted distance to its already-placed interaction partners.
+func ChooseLayout(c *quantum.Circuit, cm *CouplingMap) []int {
+	n := c.NumQubits
+	if n == 0 {
+		return nil
+	}
+	if n > cm.N {
+		// Impossible placement; hand Route the identity so it reports the
+		// size error itself.
+		id := make([]int, n)
+		for i := range id {
+			id[i] = i
+		}
+		return id
+	}
+	// Interaction weights between logical qubits.
+	weight := make(map[[2]int]int)
+	degree := make([]int, n)
+	for _, g := range c.Gates {
+		if len(g.Qubits) < 2 {
+			continue
+		}
+		for i := 0; i < len(g.Qubits); i++ {
+			for j := i + 1; j < len(g.Qubits); j++ {
+				a, b := g.Qubits[i], g.Qubits[j]
+				if a > b {
+					a, b = b, a
+				}
+				weight[[2]int{a, b}]++
+				degree[g.Qubits[i]]++
+				degree[g.Qubits[j]]++
+			}
+		}
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return degree[order[a]] > degree[order[b]] })
+
+	// Physical anchor: the highest-degree device qubit (center-ish on
+	// heavy-hex), so placement can spread in all directions.
+	anchor := 0
+	for q := 0; q < cm.N; q++ {
+		if len(cm.Neighbors(q)) > len(cm.Neighbors(anchor)) {
+			anchor = q
+		}
+	}
+
+	layout := make([]int, n)
+	for i := range layout {
+		layout[i] = -1
+	}
+	used := make([]bool, cm.N)
+	place := func(l, p int) {
+		layout[l] = p
+		used[p] = true
+	}
+
+	for idx, l := range order {
+		if idx == 0 {
+			place(l, anchor)
+			continue
+		}
+		// Candidate cost: Σ over placed partners of weight × distance.
+		bestP, bestCost := -1, 0
+		for p := 0; p < cm.N; p++ {
+			if used[p] {
+				continue
+			}
+			cost := 0
+			connected := false
+			for other := 0; other < n; other++ {
+				if layout[other] < 0 {
+					continue
+				}
+				a, b := l, other
+				if a > b {
+					a, b = b, a
+				}
+				w := weight[[2]int{a, b}]
+				if w == 0 {
+					continue
+				}
+				connected = true
+				d := cm.Distance(p, layout[other])
+				if d < 0 {
+					d = cm.N // disconnected: maximal penalty
+				}
+				cost += w * d
+			}
+			if !connected {
+				// No placed partners: stay near the anchor to keep the
+				// blob compact.
+				cost = cm.Distance(p, anchor)
+			}
+			if bestP == -1 || cost < bestCost {
+				bestP, bestCost = p, cost
+			}
+		}
+		place(l, bestP)
+	}
+	return layout
+}

@@ -1,0 +1,108 @@
+package transpile
+
+import (
+	"fmt"
+
+	"rasengan/internal/quantum"
+)
+
+// RouteResult carries a routed circuit plus the logical→physical layout at
+// entry and exit (SWAPs permute the layout as the circuit runs).
+type RouteResult struct {
+	Circuit       *quantum.Circuit
+	InitialLayout []int // logical qubit -> physical qubit
+	FinalLayout   []int
+	SwapsInserted int
+}
+
+// Route maps a native-gate circuit onto a coupling map, inserting SWAP
+// chains (each later lowered to 3 CX) whenever a two-qubit gate spans
+// non-adjacent physical qubits. The router is a greedy nearest-neighbor
+// scheme: the control is walked along a shortest path until it neighbors
+// the target. The initial layout is the identity unless a layout is given.
+func Route(c *quantum.Circuit, cm *CouplingMap, layout []int) (*RouteResult, error) {
+	if c.NumQubits > cm.N {
+		return nil, fmt.Errorf("transpile: circuit needs %d qubits, device has %d", c.NumQubits, cm.N)
+	}
+	if layout == nil {
+		layout = make([]int, c.NumQubits)
+		for i := range layout {
+			layout[i] = i
+		}
+	}
+	if len(layout) != c.NumQubits {
+		return nil, fmt.Errorf("transpile: layout covers %d of %d logical qubits", len(layout), c.NumQubits)
+	}
+	l2p := append([]int(nil), layout...)
+	p2l := make(map[int]int, len(l2p))
+	for l, p := range l2p {
+		if p < 0 || p >= cm.N {
+			return nil, fmt.Errorf("transpile: layout maps logical %d to invalid physical %d", l, p)
+		}
+		if prev, dup := p2l[p]; dup {
+			return nil, fmt.Errorf("transpile: layout maps both %d and %d to physical %d", prev, l, p)
+		}
+		p2l[p] = l
+	}
+	out := quantum.NewCircuit(cm.N)
+	swaps := 0
+	swapPhys := func(a, b int) {
+		out.SWAP(a, b)
+		swaps++
+		la, aOK := p2l[a]
+		lb, bOK := p2l[b]
+		delete(p2l, a)
+		delete(p2l, b)
+		if aOK {
+			p2l[b] = la
+			l2p[la] = b
+		}
+		if bOK {
+			p2l[a] = lb
+			l2p[lb] = a
+		}
+	}
+	for _, g := range c.Gates {
+		switch len(g.Qubits) {
+		case 1:
+			ng := g
+			ng.Qubits = []int{l2p[g.Qubits[0]]}
+			out.Append(ng)
+		case 2:
+			a, b := l2p[g.Qubits[0]], l2p[g.Qubits[1]]
+			if !cm.Coupled(a, b) {
+				path := cm.ShortestPath(a, b)
+				if path == nil {
+					return nil, fmt.Errorf("transpile: physical qubits %d and %d disconnected", a, b)
+				}
+				// Walk the first endpoint down the path until adjacent.
+				for i := 0; i+2 < len(path); i++ {
+					swapPhys(path[i], path[i+1])
+				}
+				a, b = l2p[g.Qubits[0]], l2p[g.Qubits[1]]
+			}
+			ng := g
+			ng.Qubits = []int{a, b}
+			out.Append(ng)
+		default:
+			return nil, fmt.Errorf("transpile: route requires decomposed circuits, found %v on %d qubits", g.Kind, len(g.Qubits))
+		}
+	}
+	return &RouteResult{Circuit: out, InitialLayout: layout, FinalLayout: l2p, SwapsInserted: swaps}, nil
+}
+
+// LowerSwaps replaces SWAP gates with 3 CX each, producing a fully native
+// circuit.
+func LowerSwaps(c *quantum.Circuit) *quantum.Circuit {
+	out := quantum.NewCircuit(c.NumQubits)
+	for _, g := range c.Gates {
+		if g.Kind == quantum.GateSWAP {
+			out.CX(g.Qubits[0], g.Qubits[1])
+			out.CX(g.Qubits[1], g.Qubits[0])
+			out.CX(g.Qubits[0], g.Qubits[1])
+			continue
+		}
+		out.Append(g)
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package transpile
+
+import "rasengan/internal/quantum"
+
+// GateDurations models execution times in nanoseconds, in the style of
+// IBM Eagle calibration data. RZ is virtual (frame update) and free.
+type GateDurations struct {
+	OneQubitNS float64 // physical 1-qubit pulse (x, sx, h, rx, ry)
+	TwoQubitNS float64 // CX / ECR
+	ReadoutNS  float64 // measurement
+	ResetNS    float64 // active reset between shots
+}
+
+// DefaultDurations returns Eagle-like timings.
+func DefaultDurations() GateDurations {
+	return GateDurations{OneQubitNS: 60, TwoQubitNS: 560, ReadoutNS: 1200, ResetNS: 1000}
+}
+
+// gateNS returns the duration of one gate.
+func (d GateDurations) gateNS(g quantum.Gate) float64 {
+	switch g.Kind {
+	case quantum.GateRZ, quantum.GateP:
+		return 0 // virtual Z rotations
+	case quantum.GateCX:
+		return d.TwoQubitNS
+	case quantum.GateSWAP:
+		return 3 * d.TwoQubitNS
+	case quantum.GateCCX:
+		return 6*d.TwoQubitNS + 8*d.OneQubitNS
+	default:
+		if g.IsTwoQubitOrMore() {
+			return d.TwoQubitNS
+		}
+		return d.OneQubitNS
+	}
+}
+
+// CircuitDurationNS returns the ASAP-scheduled wall time of one circuit
+// execution, excluding readout and reset.
+func CircuitDurationNS(c *quantum.Circuit, d GateDurations) float64 {
+	avail := make([]float64, c.NumQubits)
+	end := 0.0
+	for _, g := range c.Gates {
+		start := 0.0
+		for _, q := range g.Qubits {
+			if avail[q] > start {
+				start = avail[q]
+			}
+		}
+		fin := start + d.gateNS(g)
+		for _, q := range g.Qubits {
+			avail[q] = fin
+		}
+		if fin > end {
+			end = fin
+		}
+	}
+	return end
+}
+
+// ShotLatencyNS returns the per-shot wall time: circuit + readout + reset.
+func ShotLatencyNS(c *quantum.Circuit, d GateDurations) float64 {
+	return CircuitDurationNS(c, d) + d.ReadoutNS + d.ResetNS
+}

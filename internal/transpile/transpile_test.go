@@ -1,0 +1,369 @@
+package transpile
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rasengan/internal/quantum"
+)
+
+// statesEqualUpToGlobalPhase compares two dense states on the first n
+// qubits, tracing out ancillas (which must be returned to |0⟩).
+func statesEqualUpToGlobalPhase(t *testing.T, a, b *quantum.Dense, n int) bool {
+	t.Helper()
+	var phase complex128
+	dim := uint64(1) << uint(n)
+	for x := uint64(0); x < dim; x++ {
+		av, bv := a.Amplitude(x), ampOnPrefix(b, x, n)
+		if cmplx.Abs(av) < 1e-9 && cmplx.Abs(bv) < 1e-9 {
+			continue
+		}
+		if cmplx.Abs(av) < 1e-9 || cmplx.Abs(bv) < 1e-9 {
+			return false
+		}
+		r := bv / av
+		if phase == 0 {
+			phase = r
+			continue
+		}
+		if cmplx.Abs(r-phase) > 1e-8 {
+			return false
+		}
+	}
+	return true
+}
+
+// ampOnPrefix extracts the amplitude of |x⟩⊗|0...⟩ from a wider state.
+func ampOnPrefix(d *quantum.Dense, x uint64, n int) complex128 {
+	if d.NumQubits() == n {
+		return d.Amplitude(x)
+	}
+	return d.Amplitude(x) // ancillas are the high bits; |0⟩ ancillas = same index
+}
+
+func runBoth(t *testing.T, orig *quantum.Circuit, inputs []uint64) {
+	t.Helper()
+	dec := Decompose(orig)
+	if err := ValidateNative(dec); err != nil {
+		t.Fatalf("decomposition not native: %v", err)
+	}
+	for _, in := range inputs {
+		a := quantum.NewDense(orig.NumQubits)
+		// Prepare |in⟩ then a touch of superposition for phase sensitivity.
+		for q := 0; q < orig.NumQubits; q++ {
+			if in>>uint(q)&1 == 1 {
+				a.ApplyGate(quantum.Gate{Kind: quantum.GateX, Qubits: []int{q}})
+			}
+		}
+		a.ApplyGate(quantum.Gate{Kind: quantum.GateH, Qubits: []int{0}})
+		b := quantum.NewDense(dec.NumQubits)
+		for q := 0; q < orig.NumQubits; q++ {
+			if in>>uint(q)&1 == 1 {
+				b.ApplyGate(quantum.Gate{Kind: quantum.GateX, Qubits: []int{q}})
+			}
+		}
+		b.ApplyGate(quantum.Gate{Kind: quantum.GateH, Qubits: []int{0}})
+		a.Run(orig)
+		b.Run(dec)
+		if !statesEqualUpToGlobalPhase(t, a, b, orig.NumQubits) {
+			t.Fatalf("decomposition changed semantics for input %b", in)
+		}
+	}
+}
+
+func TestDecomposeCCX(t *testing.T) {
+	c := quantum.NewCircuit(3)
+	c.CCX(0, 1, 2)
+	runBoth(t, c, []uint64{0, 1, 3, 5, 7})
+}
+
+func TestDecomposeCP(t *testing.T) {
+	c := quantum.NewCircuit(2)
+	c.CP(0, 1, 0.7)
+	runBoth(t, c, []uint64{0, 1, 2, 3})
+}
+
+func TestDecomposeMCP(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		c := quantum.NewCircuit(k)
+		qs := make([]int, k)
+		for i := range qs {
+			qs[i] = i
+		}
+		c.MCP(qs, 1.1)
+		inputs := []uint64{0, uint64(1)<<uint(k) - 1, 1, 2}
+		runBoth(t, c, inputs)
+	}
+}
+
+func TestDecomposeSWAP(t *testing.T) {
+	c := quantum.NewCircuit(2)
+	c.SWAP(0, 1)
+	runBoth(t, c, []uint64{0, 1, 2, 3})
+}
+
+func TestMCPLinearCXCost(t *testing.T) {
+	// CX count of a decomposed MCP must grow linearly, not exponentially.
+	prev := 0
+	for k := 3; k <= 8; k++ {
+		c := quantum.NewCircuit(k)
+		qs := make([]int, k)
+		for i := range qs {
+			qs[i] = i
+		}
+		c.MCP(qs, 0.5)
+		dec := Decompose(c)
+		n := dec.CountKind(quantum.GateCX)
+		if k > 3 && n-prev != 12 {
+			t.Errorf("k=%d: CX increment %d, want 12 (linear V-chain)", k, n-prev)
+		}
+		prev = n
+	}
+}
+
+func TestCXCostModel(t *testing.T) {
+	if CXCostModel(3) != 102 {
+		t.Errorf("paper cost model: 34k")
+	}
+}
+
+func TestLinearCoupling(t *testing.T) {
+	cm := Linear(5)
+	if !cm.Coupled(0, 1) || cm.Coupled(0, 2) {
+		t.Error("linear coupling wrong")
+	}
+	if d := cm.Distance(0, 4); d != 4 {
+		t.Errorf("distance = %d", d)
+	}
+}
+
+func TestHeavyHex127(t *testing.T) {
+	cm := HeavyHex(7, 15)
+	if cm.N != 127 {
+		t.Errorf("heavy-hex 7x15 has %d qubits, want 127", cm.N)
+	}
+	// Degree bound of heavy-hex is 3.
+	for q := 0; q < cm.N; q++ {
+		if len(cm.Neighbors(q)) > 3 {
+			t.Fatalf("qubit %d has degree %d > 3", q, len(cm.Neighbors(q)))
+		}
+	}
+	// Must be connected.
+	for q := 1; q < cm.N; q++ {
+		if cm.Distance(0, q) < 0 {
+			t.Fatalf("qubit %d disconnected", q)
+		}
+	}
+}
+
+func TestRoutePreservesSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4
+		c := quantum.NewCircuit(n)
+		for i := 0; i < 12; i++ {
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			switch rng.Intn(3) {
+			case 0:
+				c.CX(a, b)
+			case 1:
+				c.RY(a, rng.Float64()*3)
+			default:
+				c.H(a)
+			}
+		}
+		cm := Linear(n)
+		res, err := Route(c, cm, nil)
+		if err != nil {
+			return false
+		}
+		native := LowerSwaps(res.Circuit)
+		if ValidateNative(native) != nil {
+			return false
+		}
+		// All CX must respect coupling.
+		for _, g := range native.Gates {
+			if g.Kind == quantum.GateCX && !cm.Coupled(g.Qubits[0], g.Qubits[1]) {
+				return false
+			}
+		}
+		// Semantics: routed circuit equals original up to the final layout
+		// permutation. Compare probability of each logical basis state.
+		ideal := quantum.NewDense(n)
+		ideal.Run(c)
+		routed := quantum.NewDense(cm.N)
+		routed.Run(native)
+		for x := uint64(0); x < 1<<uint(n); x++ {
+			// Map logical index to physical index via final layout.
+			var phys uint64
+			for l := 0; l < n; l++ {
+				if x>>uint(l)&1 == 1 {
+					phys |= 1 << uint(res.FinalLayout[l])
+				}
+			}
+			if math.Abs(ideal.Probability(x)-routed.Probability(phys)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteNoSwapWhenCoupled(t *testing.T) {
+	c := quantum.NewCircuit(2)
+	c.CX(0, 1)
+	res, err := Route(c, Linear(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapsInserted != 0 {
+		t.Errorf("unnecessary swaps: %d", res.SwapsInserted)
+	}
+}
+
+func TestRouteInsertsSwaps(t *testing.T) {
+	c := quantum.NewCircuit(3)
+	c.CX(0, 2)
+	res, err := Route(c, Linear(3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapsInserted != 1 {
+		t.Errorf("swaps = %d, want 1", res.SwapsInserted)
+	}
+}
+
+func TestRouteRejectsBadLayout(t *testing.T) {
+	c := quantum.NewCircuit(2)
+	c.CX(0, 1)
+	if _, err := Route(c, Linear(3), []int{1, 1}); err == nil {
+		t.Error("duplicate layout accepted")
+	}
+}
+
+func TestScheduleDurations(t *testing.T) {
+	d := DefaultDurations()
+	c := quantum.NewCircuit(2)
+	c.X(0)
+	c.CX(0, 1)
+	got := CircuitDurationNS(c, d)
+	want := d.OneQubitNS + d.TwoQubitNS
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("duration = %v, want %v", got, want)
+	}
+	// Parallel gates overlap.
+	c2 := quantum.NewCircuit(2)
+	c2.X(0)
+	c2.X(1)
+	if got := CircuitDurationNS(c2, d); math.Abs(got-d.OneQubitNS) > 1e-9 {
+		t.Errorf("parallel duration = %v", got)
+	}
+	// RZ is free.
+	c3 := quantum.NewCircuit(1)
+	c3.RZ(0, 1)
+	if CircuitDurationNS(c3, d) != 0 {
+		t.Error("virtual RZ should cost 0")
+	}
+}
+
+func TestShotLatency(t *testing.T) {
+	d := DefaultDurations()
+	c := quantum.NewCircuit(1)
+	c.X(0)
+	got := ShotLatencyNS(c, d)
+	if got <= CircuitDurationNS(c, d) {
+		t.Error("shot latency must include readout+reset")
+	}
+}
+
+func TestFullyConnectedNoRouting(t *testing.T) {
+	c := quantum.NewCircuit(5)
+	c.CX(0, 4)
+	c.CX(1, 3)
+	res, err := Route(c, FullyConnected(5), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapsInserted != 0 {
+		t.Error("fully connected map should need no swaps")
+	}
+}
+
+func TestChooseLayoutReducesSwaps(t *testing.T) {
+	// A chain of CX over "distant" logical pairs routed on heavy-hex: the
+	// interaction-aware layout must need no more swaps than the identity
+	// layout, and usually fewer.
+	cm := HeavyHex(7, 15)
+	c := quantum.NewCircuit(8)
+	for rep := 0; rep < 3; rep++ {
+		c.CX(0, 7)
+		c.CX(1, 6)
+		c.CX(2, 5)
+		c.CX(3, 4)
+		c.CX(0, 4)
+	}
+	idRes, err := Route(c, cm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := ChooseLayout(c, cm)
+	smart, err := Route(c, cm, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smart.SwapsInserted > idRes.SwapsInserted {
+		t.Errorf("layout made routing worse: %d vs %d swaps", smart.SwapsInserted, idRes.SwapsInserted)
+	}
+	if smart.SwapsInserted == 0 && idRes.SwapsInserted == 0 {
+		t.Skip("instance too easy to differentiate")
+	}
+}
+
+func TestChooseLayoutValid(t *testing.T) {
+	cm := HeavyHex(7, 15)
+	c := quantum.NewCircuit(12)
+	for q := 0; q+1 < 12; q++ {
+		c.CX(q, q+1)
+	}
+	layout := ChooseLayout(c, cm)
+	if len(layout) != 12 {
+		t.Fatalf("layout covers %d qubits", len(layout))
+	}
+	seen := map[int]bool{}
+	for l, p := range layout {
+		if p < 0 || p >= cm.N {
+			t.Fatalf("logical %d placed at invalid physical %d", l, p)
+		}
+		if seen[p] {
+			t.Fatalf("physical %d reused", p)
+		}
+		seen[p] = true
+	}
+	// Adjacent logical qubits should mostly land adjacent physically.
+	adjacent := 0
+	for q := 0; q+1 < 12; q++ {
+		if cm.Coupled(layout[q], layout[q+1]) {
+			adjacent++
+		}
+	}
+	if adjacent < 6 {
+		t.Errorf("only %d of 11 chain pairs placed adjacent", adjacent)
+	}
+}
+
+func TestChooseLayoutEmptyCircuit(t *testing.T) {
+	if ChooseLayout(quantum.NewCircuit(0), Linear(4)) != nil {
+		t.Error("empty circuit should give nil layout")
+	}
+	layout := ChooseLayout(quantum.NewCircuit(3), Linear(5)) // no gates
+	if len(layout) != 3 {
+		t.Error("gateless circuit still needs a full layout")
+	}
+}

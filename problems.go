@@ -1,0 +1,101 @@
+package rasengan
+
+import "rasengan/internal/problems"
+
+// The benchmark families of the paper's evaluation (Section 5.1), exposed
+// as seeded generators. Every generator converts inequality constraints to
+// equalities with binary slack variables and attaches a linear-time
+// feasible seed solution.
+
+// FLPConfig shapes a facility location instance.
+type FLPConfig = problems.FLPConfig
+
+// KPPConfig shapes a balanced k-partition instance.
+type KPPConfig = problems.KPPConfig
+
+// JSPConfig shapes an identical-machines scheduling instance.
+type JSPConfig = problems.JSPConfig
+
+// SCPConfig shapes a set covering instance.
+type SCPConfig = problems.SCPConfig
+
+// GCPConfig shapes a graph coloring instance.
+type GCPConfig = problems.GCPConfig
+
+// NewFacilityLocation generates a seeded facility location problem.
+func NewFacilityLocation(cfg FLPConfig, seed int64) *Problem {
+	return problems.GenerateFLP(cfg, seed)
+}
+
+// NewKPartition generates a seeded balanced k-partition problem.
+func NewKPartition(cfg KPPConfig, seed int64) *Problem {
+	return problems.GenerateKPP(cfg, seed)
+}
+
+// NewJobScheduling generates a seeded identical-machines scheduling
+// problem.
+func NewJobScheduling(cfg JSPConfig, seed int64) *Problem {
+	return problems.GenerateJSP(cfg, seed)
+}
+
+// NewSetCover generates a seeded set covering problem.
+func NewSetCover(cfg SCPConfig, seed int64) *Problem {
+	return problems.GenerateSCP(cfg, seed)
+}
+
+// NewGraphColoring generates a seeded graph coloring problem.
+func NewGraphColoring(cfg GCPConfig, seed int64) *Problem {
+	return problems.GenerateGCP(cfg, seed)
+}
+
+// Benchmark identifies one cell of the paper's 20-benchmark suite.
+type Benchmark = problems.Benchmark
+
+// Suite returns the 20 benchmarks of Table 2 (F1..G4).
+func Suite() []Benchmark { return problems.Suite() }
+
+// BenchmarkByLabel resolves a short label like "F1" or "S4".
+func BenchmarkByLabel(label string) (Benchmark, error) {
+	return problems.ByLabel(label)
+}
+
+// ProblemBuilder assembles custom problems from an objective and mixed
+// =, ≤, ≥ constraints; inequalities are converted to equalities with
+// unary binary slacks, keeping the constraint matrix ternary so the
+// transition-Hamiltonian machinery applies unchanged.
+type ProblemBuilder = problems.Builder
+
+// NewProblem starts a builder over numVars binary decision variables.
+//
+//	p, err := rasengan.NewProblem("knapsack", 3).
+//	    Maximize().
+//	    Linear(0, 4).Linear(1, 3).Linear(2, 5).
+//	    Le(map[int]int64{0: 1, 1: 1, 2: 2}, 3).
+//	    Build()
+func NewProblem(name string, numVars int) *ProblemBuilder {
+	return problems.NewBuilder(name, numVars)
+}
+
+// ProblemToJSON serializes a problem instance in the repository's stable
+// interchange schema (objective coefficients, dense constraint rows,
+// seed solution).
+func ProblemToJSON(p *Problem) ([]byte, error) { return problems.ToJSON(p) }
+
+// ProblemFromJSON reconstructs and validates a serialized instance.
+func ProblemFromJSON(data []byte) (*Problem, error) { return problems.FromJSON(data) }
+
+// QuadObjective is a quadratic pseudo-Boolean objective; use it to build
+// custom Problem values.
+type QuadObjective = problems.QuadObjective
+
+// NewQuadObjective returns an all-zero objective over n variables.
+func NewQuadObjective(n int) QuadObjective { return problems.NewQuadObjective(n) }
+
+// Sense says whether the objective is minimized or maximized.
+type Sense = problems.Sense
+
+// Objective senses.
+const (
+	Minimize = problems.Minimize
+	Maximize = problems.Maximize
+)

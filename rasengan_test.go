@@ -1,0 +1,186 @@
+package rasengan
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPublicAPISolve exercises the documented quickstart path end to end
+// through the public surface only.
+func TestPublicAPISolve(t *testing.T) {
+	p := NewFacilityLocation(FLPConfig{Demands: 2, Facilities: 2}, 7)
+	if p.N != 10 {
+		t.Fatalf("unexpected width %d", p.N)
+	}
+	res, err := Solve(p, SolveOptions{MaxIter: 120, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ExactReference(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ARG(ref.Opt, res.Expectation); got > 0.2 {
+		t.Errorf("quickstart ARG = %v", got)
+	}
+	if !p.Feasible(res.BestSolution) {
+		t.Error("best solution infeasible")
+	}
+}
+
+func TestPublicAPIGenerators(t *testing.T) {
+	cases := []*Problem{
+		NewFacilityLocation(FLPConfig{Demands: 1, Facilities: 2}, 1),
+		NewKPartition(KPPConfig{Elements: 4, K: 2}, 1),
+		NewJobScheduling(JSPConfig{Jobs: 3, Machines: 2}, 1),
+		NewSetCover(SCPConfig{Sets: 4, Elements: 3}, 1),
+		NewGraphColoring(GCPConfig{Vertices: 3, K: 2, Edges: 2}, 1),
+	}
+	for _, p := range cases {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	p := NewFacilityLocation(FLPConfig{Demands: 1, Facilities: 2}, 2)
+	opts := BaselineOptions{Layers: 2, MaxIter: 15, Seed: 2}
+	for name, run := range map[string]func() (*BaselineResult, error){
+		"hea":     func() (*BaselineResult, error) { return SolveHEA(p, opts) },
+		"p-qaoa":  func() (*BaselineResult, error) { return SolvePQAOA(p, opts) },
+		"choco-q": func() (*BaselineResult, error) { return SolveChocoQ(p, opts) },
+		"frozen":  func() (*BaselineResult, error) { return SolveFrozenQubits(p, 1, opts) },
+		"red":     func() (*BaselineResult, error) { return SolveRedQAOA(p, opts) },
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Distribution) == 0 {
+			t.Errorf("%s: empty distribution", name)
+		}
+	}
+}
+
+func TestPublicAPIDevices(t *testing.T) {
+	for _, d := range []*Device{DeviceKyiv(), DeviceBrisbane(), DeviceQuebec()} {
+		if d.NumQubits() != 127 {
+			t.Errorf("%s: %d qubits", d.Name, d.NumQubits())
+		}
+	}
+}
+
+func TestPublicAPISuite(t *testing.T) {
+	if len(Suite()) != 20 {
+		t.Error("suite size wrong")
+	}
+	b, err := BenchmarkByLabel("J3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := b.Generate(0)
+	if p.Family != "JSP" {
+		t.Errorf("family = %s", p.Family)
+	}
+}
+
+func TestPublicAPISolution(t *testing.T) {
+	s, err := ParseSolution("0110")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.OnesCount() != 2 || !s.Bit(1) {
+		t.Error("ParseSolution wrong")
+	}
+	if NewSolution(5).Len() != 5 {
+		t.Error("NewSolution wrong")
+	}
+}
+
+func TestPublicAPIARG(t *testing.T) {
+	if math.Abs(ARG(4, 6)-0.5) > 1e-12 {
+		t.Error("ARG wrong")
+	}
+}
+
+func TestPublicAPINoisySolve(t *testing.T) {
+	p := NewFacilityLocation(FLPConfig{Demands: 1, Facilities: 2}, 3)
+	opts := SolveOptions{MaxIter: 20, Seed: 3}
+	opts.Exec = ExecOptions{Shots: 256, Device: DeviceBrisbane(), Trajectories: 4}
+	res, err := Solve(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Purification guarantees a feasible output distribution.
+	for x := range res.Distribution {
+		if !p.Feasible(x) {
+			t.Error("infeasible state leaked through purification")
+		}
+	}
+}
+
+func TestPublicAPICustomProblem(t *testing.T) {
+	// Users can assemble a Problem directly from the public pieces; the
+	// maximization sense must round-trip through the solver.
+	p := NewJobScheduling(JSPConfig{Jobs: 3, Machines: 2}, 9)
+	if p.Sense != Minimize {
+		t.Error("JSP should minimize")
+	}
+	obj := NewQuadObjective(4)
+	obj.Linear[0] = 1
+	if obj.N() != 4 {
+		t.Error("objective width wrong")
+	}
+}
+
+// TestPublicAPIBuilderSolve runs the full pipeline on a builder-assembled
+// knapsack problem — the paper's "inequality constraints become equalities
+// with auxiliary binaries" path, end to end.
+func TestPublicAPIBuilderSolve(t *testing.T) {
+	p, err := NewProblem("knapsack", 3).
+		Maximize().
+		Linear(0, 4).Linear(1, 3).Linear(2, 5).
+		Le(map[int]int64{0: 1, 1: 1, 2: 2}, 3).
+		Ge(map[int]int64{0: 1, 1: 1, 2: 1}, 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ExactReference(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(p, SolveOptions{MaxIter: 150, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestValue != ref.Opt {
+		t.Errorf("builder solve: best %v, optimum %v", res.BestValue, ref.Opt)
+	}
+}
+
+func TestPublicAPICircuitTools(t *testing.T) {
+	c, err := TransitionCircuit([]int64{1, 0, -1}, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) == 0 {
+		t.Fatal("empty transition circuit")
+	}
+	text := ExportQASM(c)
+	parsed, err := ParseQASM(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Gates) != len(c.Gates) {
+		t.Error("QASM round trip lost gates")
+	}
+	art := DrawCircuit(c)
+	if len(art) == 0 {
+		t.Error("empty drawing")
+	}
+	if _, err := TransitionCircuit([]int64{2, 0, 0}, 3, 0.5); err == nil {
+		t.Error("non-ternary transition accepted")
+	}
+}
