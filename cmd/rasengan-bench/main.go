@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"rasengan/internal/experiments"
+	"rasengan/internal/parallel"
 )
 
 // renderer is what every experiment harness produces.
@@ -39,10 +40,17 @@ func main() {
 		full     = flag.Bool("full", false, "paper-scale parameters (slow)")
 		maxDense = flag.Int("maxdense", 0, "dense-baseline qubit cap (0 = default)")
 		jsonDir  = flag.String("json", "", "also write each experiment's structured result as JSON into this directory")
-		parallel = flag.Int("parallel", 0, "concurrent case evaluations in sweep experiments (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "worker-pool size for all parallel execution: case sweeps, noise trajectories, dense kernels, multi-start (0 = all cores)")
+		parFlag  = flag.Int("parallel", 0, "deprecated alias for -workers")
 	)
 	flag.Parse()
 
+	if *workers == 0 {
+		*workers = *parFlag
+	}
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
 	cfg := experiments.Config{
 		Cases:          *cases,
 		MaxIter:        *iters,
@@ -51,7 +59,7 @@ func main() {
 		Seed:           *seed,
 		Full:           *full,
 		MaxDenseQubits: *maxDense,
-		Parallelism:    *parallel,
+		Workers:        *workers,
 	}
 	if *jsonDir != "" {
 		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {

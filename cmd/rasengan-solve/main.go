@@ -17,6 +17,7 @@ import (
 
 	"rasengan"
 	"rasengan/internal/device"
+	"rasengan/internal/parallel"
 	"rasengan/internal/problems"
 )
 
@@ -38,8 +39,13 @@ func main() {
 		verbose    = flag.Bool("v", false, "print the full output distribution")
 		draw       = flag.Bool("draw", false, "draw the first transition-operator circuit")
 		emitQASM   = flag.Bool("qasm", false, "print the first transition-operator circuit as OpenQASM 2.0")
+		workers    = flag.Int("workers", 0, "worker-pool size for parallel execution: noise trajectories, dense kernels, multi-start (0 = all cores); results are identical at any setting")
 	)
 	flag.Parse()
+
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
 
 	var p *rasengan.Problem
 	switch {

@@ -200,6 +200,21 @@ func NewExecutor(p *problems.Problem, ops []Transition, opts ExecOptions) (*Exec
 	return e, nil
 }
 
+// Clone returns an executor that shares the compiled schedule,
+// segmentation, and per-operator stats (all read-only after construction)
+// but has private run accounting, so clones can Run concurrently — the
+// solver gives each optimizer start its own clone.
+func (e *Executor) Clone() *Executor {
+	c := *e
+	c.LastShotsUsed = 0
+	c.LastFeasibleShots = 0
+	c.LastMeasuredShots = 0
+	c.LastQuantumNS = 0
+	c.LastSegmentsRun = 0
+	c.LastTerminatedEarly = false
+	return &c
+}
+
 // NumSegments returns how many segments execution is split into.
 func (e *Executor) NumSegments() int { return len(e.segments) }
 
@@ -348,7 +363,11 @@ func (e *Executor) runSegmentSampled(segIdx int, seg []int, t []float64, in map[
 					e.injectOperatorNoise(st, i, rng)
 				}
 			}
-			for y, c := range st.Sample(rng, n) {
+			sampled := st.Sample(rng, n)
+			// Sorted key order: readout flips consume rng, so map-iteration
+			// order must not leak into the run's randomness.
+			for _, y := range sortedCountKeys(sampled) {
+				c := sampled[y]
 				if noise != nil && noise.ReadoutError > 0 {
 					for k := 0; k < c; k++ {
 						counts[noise.ApplyReadout(y, rng)]++
@@ -431,6 +450,15 @@ func normalizeDist(d map[bitvec.Vec]float64) {
 }
 
 func sortedDistKeys(d map[bitvec.Vec]float64) []bitvec.Vec {
+	out := make([]bitvec.Vec, 0, len(d))
+	for k := range d {
+		out = append(out, k)
+	}
+	sortVecs(out)
+	return out
+}
+
+func sortedCountKeys(d map[bitvec.Vec]int) []bitvec.Vec {
 	out := make([]bitvec.Vec, 0, len(d))
 	for k := range d {
 		out = append(out, k)

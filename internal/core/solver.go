@@ -8,6 +8,7 @@ import (
 
 	"rasengan/internal/bitvec"
 	"rasengan/internal/optimize"
+	"rasengan/internal/parallel"
 	"rasengan/internal/problems"
 )
 
@@ -112,24 +113,6 @@ func Solve(p *problems.Problem, opts Options) (*Result, error) {
 	}
 	rng := rand.New(rand.NewSource(opts.Seed + 7))
 
-	evalCount := 0
-	quantumNS := 0.0
-	var lastGood map[bitvec.Vec]float64
-	objective := func(t []float64) float64 {
-		evalCount++
-		dist, err := exec.Run(t, rng)
-		quantumNS += exec.LastQuantumNS
-		if err != nil {
-			return math.Inf(1)
-		}
-		lastGood = dist
-		e := 0.0
-		for _, x := range sortedDistKeys(dist) {
-			e += dist[x] * p.ScoreMin(x)
-		}
-		return e
-	}
-
 	// Multi-start: the segmented landscape is piecewise and a single
 	// derivative-free descent can stall, so the iteration budget is split
 	// across a uniform π/4 start (equal splitting per transition), a
@@ -147,22 +130,65 @@ func Solve(p *problems.Problem, opts Options) (*Result, error) {
 		perStart = maxIter
 		starts = starts[:1]
 	}
-	var res optimize.Result
-	for i, x0 := range starts {
-		r := optimize.Minimize(opts.Optimizer, objective, x0, optimize.Options{
+
+	// Starts run concurrently on the shared worker pool. Each owns a
+	// cloned executor (compiled schedule shared, accounting private) and a
+	// SplitMix64-derived RNG stream, so the outcome is bit-identical for
+	// any worker count; the final evaluation gets the stream after the
+	// last start.
+	type startOutcome struct {
+		res       optimize.Result
+		evals     int
+		quantumNS float64
+		lastGood  map[bitvec.Vec]float64
+	}
+	outcomes := make([]startOutcome, len(starts))
+	parallel.For(len(starts), func(i int) {
+		ex := exec.Clone()
+		srng := parallel.NewRand(opts.Seed+7, uint64(i))
+		o := &outcomes[i]
+		objective := func(t []float64) float64 {
+			o.evals++
+			dist, err := ex.Run(t, srng)
+			o.quantumNS += ex.LastQuantumNS
+			if err != nil {
+				return math.Inf(1)
+			}
+			o.lastGood = dist
+			e := 0.0
+			for _, x := range sortedDistKeys(dist) {
+				e += dist[x] * p.ScoreMin(x)
+			}
+			return e
+		}
+		o.res = optimize.Minimize(opts.Optimizer, objective, starts[i], optimize.Options{
 			MaxIter:  perStart,
 			MaxEvals: opts.MaxEvals,
 			Step:     math.Pi / 8,
 			Seed:     opts.Seed + int64(i),
 		})
-		if i == 0 || r.F < res.F {
-			res = r
+	})
+
+	// Winner by objective value, ties to the lowest start index.
+	best := 0
+	for i := 1; i < len(outcomes); i++ {
+		if outcomes[i].res.F < outcomes[best].res.F {
+			best = i
 		}
+	}
+	res := outcomes[best].res
+	lastGood := outcomes[best].lastGood
+	evalCount := 0
+	quantumNS := 0.0
+	for _, o := range outcomes {
+		evalCount += o.evals
+		quantumNS += o.quantumNS
 	}
 
 	// Final evaluation at the optimizer's best parameters to produce the
 	// reported distribution and in-constraints accounting.
-	finalDist, err := exec.Run(res.X, rng)
+	finalRng := parallel.NewRand(opts.Seed+7, uint64(len(starts)))
+	finalDist, err := exec.Run(res.X, finalRng)
 	quantumNS += exec.LastQuantumNS
 	if err != nil {
 		if lastGood == nil {

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rasengan/internal/device"
+	"rasengan/internal/parallel"
+	"rasengan/internal/problems"
+)
+
+// TestSolveDeterministicAcrossWorkers is the solver half of the tentpole
+// guarantee: a noisy, sampled, multi-start solve must produce identical
+// results whether the starts run serially or across eight workers.
+func TestSolveDeterministicAcrossWorkers(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	p := problems.FLP(1, 0)
+	run := func(workers int) *Result {
+		parallel.SetWorkers(workers)
+		res, err := Solve(p, Options{
+			MaxIter: 40, // three starts at >10 iterations each
+			Seed:    17,
+			Exec:    ExecOptions{Shots: 256, OpsPerSegment: 1, Device: device.Kyiv(), Trajectories: 4},
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	ref := run(1)
+	for _, w := range []int{2, 8} {
+		got := run(w)
+		if got.Expectation != ref.Expectation {
+			t.Errorf("workers=%d: expectation %v != %v", w, got.Expectation, ref.Expectation)
+		}
+		if got.BestValue != ref.BestValue || got.BestSolution != ref.BestSolution {
+			t.Errorf("workers=%d: best (%v, %v) != (%v, %v)",
+				w, got.BestSolution, got.BestValue, ref.BestSolution, ref.BestValue)
+		}
+		if len(got.Times) != len(ref.Times) {
+			t.Fatalf("workers=%d: %d times != %d", w, len(got.Times), len(ref.Times))
+		}
+		for i := range ref.Times {
+			if got.Times[i] != ref.Times[i] {
+				t.Errorf("workers=%d: time[%d] %v != %v", w, i, got.Times[i], ref.Times[i])
+			}
+		}
+		if len(got.Distribution) != len(ref.Distribution) {
+			t.Fatalf("workers=%d: distribution support %d != %d", w, len(got.Distribution), len(ref.Distribution))
+		}
+		for x, pr := range ref.Distribution {
+			if got.Distribution[x] != pr {
+				t.Errorf("workers=%d: P(%v) = %v != %v", w, x, got.Distribution[x], pr)
+			}
+		}
+		if got.Evals != ref.Evals {
+			t.Errorf("workers=%d: evals %d != %d", w, got.Evals, ref.Evals)
+		}
+	}
+}
+
+// TestExecutorCloneIsolatesAccounting checks that clones share the
+// compiled schedule but never each other's run counters.
+func TestExecutorCloneIsolatesAccounting(t *testing.T) {
+	p := problems.FLP(1, 0)
+	ops := mustBasisAndSchedule(t, p)
+	exec, err := NewExecutor(p, ops, ExecOptions{Shots: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := make([]float64, exec.NumParams())
+	for i := range times {
+		times[i] = 0.5
+	}
+	clone := exec.Clone()
+	if clone.NumParams() != exec.NumParams() || clone.NumSegments() != exec.NumSegments() {
+		t.Fatal("clone lost the compiled schedule")
+	}
+	if _, err := clone.Run(times, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	if clone.LastShotsUsed == 0 {
+		t.Error("clone did not account its own run")
+	}
+	if exec.LastShotsUsed != 0 || exec.LastQuantumNS != 0 {
+		t.Error("clone's run leaked accounting into the original")
+	}
+}

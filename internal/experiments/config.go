@@ -11,14 +11,13 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 
 	"rasengan/internal/baselines"
 	"rasengan/internal/core"
 	"rasengan/internal/device"
 	"rasengan/internal/metrics"
+	"rasengan/internal/parallel"
 	"rasengan/internal/problems"
 )
 
@@ -40,10 +39,15 @@ type Config struct {
 	Seed         int64
 	// Full restores paper-scale parameters where feasible.
 	Full bool
-	// Parallelism bounds concurrent case evaluations in the sweep-style
-	// experiments (Table 2, Figure 14). 0 uses GOMAXPROCS; 1 forces
-	// sequential execution. Results are deterministic either way: every
-	// case owns its seed and aggregation is order-independent.
+	// Workers bounds concurrent case evaluations in the sweep-style
+	// experiments (Table 2, Figure 14), sharing the process-wide pool in
+	// internal/parallel. 0 uses the pool default (all cores, or whatever
+	// parallel.SetWorkers installed); 1 forces sequential execution.
+	// Results are bit-identical either way: every case owns its seed and
+	// aggregation is slot-indexed.
+	Workers int
+	// Parallelism is a deprecated alias for Workers, consulted only when
+	// Workers is zero.
 	Parallelism int
 }
 
@@ -183,39 +187,15 @@ func referenceFor(p *problems.Problem) (problems.Reference, error) {
 	return problems.ReferenceFromSet(p, feas)
 }
 
-// forEachParallel runs fn(i) for i in [0, n) across the configured number
-// of workers and blocks until all complete. fn must write only to
-// i-indexed slots.
+// forEachParallel runs fn(i) for i in [0, n) on the shared worker pool,
+// capped at the configured worker count, and blocks until all complete.
+// fn must write only to i-indexed slots.
 func (c Config) forEachParallel(n int, fn func(i int)) {
-	workers := c.Parallelism
+	workers := c.Workers
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = c.Parallelism
 	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	parallel.ForWorkers(workers, n, fn)
 }
 
 // renderTable formats a simple aligned text table.

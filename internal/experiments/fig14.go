@@ -76,58 +76,72 @@ func Fig14(cfg Config) (*Fig14Result, error) {
 
 	// (a) Pauli error sweep around the 10^-3 scale of IBM calibrations.
 	for _, rate := range []float64{1e-4, 3e-4, 5e-4, 1e-3} {
-		dev := fig14Device(rate/10, rate, 0, 0)
-		pt := Fig14aPoint{ErrorRate: rate}
-		var args []float64
-		for i, p := range cases {
-			ref, err := problems.ExactReference(p)
-			if err != nil {
-				return nil, err
-			}
-			res, err := core.Solve(p, core.Options{
-				MaxIter: cfg.MaxIter,
-				Seed:    cfg.Seed + int64(i),
-				Exec:    core.ExecOptions{Shots: cfg.Shots, Device: dev, Trajectories: cfg.Trajectories},
-			})
-			if err != nil {
-				pt.Failures++
-				continue
-			}
-			args = append(args, metrics.ARG(ref.Opt, res.Expectation))
+		args, failures, err := fig14Sweep(cfg, cases, fig14Device(rate/10, rate, 0, 0), 0)
+		if err != nil {
+			return nil, err
 		}
+		pt := Fig14aPoint{ErrorRate: rate, Failures: failures}
 		pt.ARG = metrics.Summarize(args)
 		pt.FracBelow = metrics.FractionBelow(args, 0.025)
 		out.PauliSweep = append(out.PauliSweep, pt)
 	}
 
 	// (b) Amplitude damping sweep with the paper's fixed background
-	// (1q 0.035%, 2q 0.875% depolarizing + matching dephasing).
+	// (1q 0.035%, 2q 0.875% depolarizing + matching dephasing). Failures
+	// are runs killed by infeasible intermediate states — the paper's
+	// reported failure mode at γ ≥ 2%.
 	for _, gamma := range []float64{0, 0.005, 0.01, 0.015, 0.02} {
-		dev := fig14Device(0.00035, 0.00875, gamma, 0.0005)
-		pt := Fig14bPoint{Gamma: gamma}
-		var args []float64
-		for i, p := range cases {
-			ref, err := problems.ExactReference(p)
-			if err != nil {
-				return nil, err
-			}
-			res, err := core.Solve(p, core.Options{
-				MaxIter: cfg.MaxIter,
-				Seed:    cfg.Seed + 1000 + int64(i),
-				Exec:    core.ExecOptions{Shots: cfg.Shots, Device: dev, Trajectories: cfg.Trajectories},
-			})
-			if err != nil {
-				// Infeasible intermediate states killed the run — the
-				// paper's reported failure mode at γ ≥ 2%.
-				pt.Failures++
-				continue
-			}
-			args = append(args, metrics.ARG(ref.Opt, res.Expectation))
+		args, failures, err := fig14Sweep(cfg, cases, fig14Device(0.00035, 0.00875, gamma, 0.0005), 1000)
+		if err != nil {
+			return nil, err
 		}
+		pt := Fig14bPoint{Gamma: gamma, Failures: failures}
 		pt.ARG = metrics.Summarize(args)
 		out.DampingSweep = append(out.DampingSweep, pt)
 	}
 	return out, nil
+}
+
+// fig14Sweep solves every case against one device across the worker pool.
+// Each case owns a seed and a result slot, so the returned ARGs are in
+// case order and identical for any worker count.
+func fig14Sweep(cfg Config, cases []*problems.Problem, dev *device.Device, seedOffset int64) (args []float64, failures int, err error) {
+	type caseOut struct {
+		arg    float64
+		ok     bool
+		failed bool
+		err    error
+	}
+	outs := make([]caseOut, len(cases))
+	cfg.forEachParallel(len(cases), func(i int) {
+		p := cases[i]
+		ref, err := problems.ExactReference(p)
+		if err != nil {
+			outs[i].err = err
+			return
+		}
+		res, err := core.Solve(p, core.Options{
+			MaxIter: cfg.MaxIter,
+			Seed:    cfg.Seed + seedOffset + int64(i),
+			Exec:    core.ExecOptions{Shots: cfg.Shots, Device: dev, Trajectories: cfg.Trajectories},
+		})
+		if err != nil {
+			outs[i].failed = true
+			return
+		}
+		outs[i] = caseOut{arg: metrics.ARG(ref.Opt, res.Expectation), ok: true}
+	})
+	for _, o := range outs {
+		switch {
+		case o.err != nil:
+			return nil, 0, o.err
+		case o.failed:
+			failures++
+		case o.ok:
+			args = append(args, o.arg)
+		}
+	}
+	return args, failures, nil
 }
 
 // Render prints both panels.

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"testing"
+
+	"rasengan/internal/parallel"
+)
+
+// TestTable2IdenticalAcrossWorkers renders the full Table 2 harness at a
+// tiny configuration under two worker counts and demands byte-identical
+// output: every case owns its seed and slot, so the sweep must not leak
+// scheduling into the tables.
+func TestTable2IdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full Table 2 passes")
+	}
+	defer parallel.SetWorkers(0)
+	run := func(workers int) string {
+		cfg := Config{Cases: 1, MaxIter: 8, Layers: 2, Shots: 128, Trajectories: 2, MaxDenseQubits: 10, Seed: 5, Workers: workers}
+		parallel.SetWorkers(workers)
+		res, err := Table2(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res.Render()
+	}
+	serial := run(1)
+	if par := run(4); par != serial {
+		t.Errorf("Table 2 differs between 1 and 4 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, par)
+	}
+}

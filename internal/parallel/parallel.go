@@ -1,0 +1,202 @@
+// Package parallel provides the shared execution layer the simulators and
+// harnesses fan work across: a single process-wide worker pool plus
+// deterministic RNG splitting (see rng.go). Every parallel loop in the
+// repository routes through this package so one `-workers` knob governs
+// trajectory sampling, dense-kernel sharding, multi-start optimization,
+// and the experiment sweeps alike.
+//
+// Determinism contract: none of the primitives here introduce
+// scheduling-dependent results. For distributes *indices*, so callers that
+// write only to i-indexed slots are deterministic by construction;
+// ForChunks fixes chunk boundaries as a function of the input size alone;
+// SumChunks combines partial sums in chunk order, making floating-point
+// reductions bit-identical for any worker count.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed set of persistent worker goroutines. Work is handed to a
+// worker only when one is idle (unbuffered channel, non-blocking send);
+// otherwise the submitting goroutine runs the work itself. That rule makes
+// nested For calls deadlock-free: a worker that starts a nested loop
+// simply executes all of it inline when its peers are busy.
+type Pool struct {
+	size int
+	work chan func()
+	once sync.Once
+}
+
+// NewPool returns a pool of the given size. Workers start lazily on first
+// use. Sizes below one are clamped to one.
+func NewPool(size int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	return &Pool{size: size, work: make(chan func())}
+}
+
+// Size returns the number of workers the pool was created with.
+func (p *Pool) Size() int { return p.size }
+
+func (p *Pool) start() {
+	for i := 0; i < p.size; i++ {
+		go func() {
+			for f := range p.work {
+				f()
+			}
+		}()
+	}
+}
+
+// ForWorkers runs fn(i) for every i in [0, n), using at most `workers`
+// concurrent executors (0 or less means the pool size). The calling
+// goroutine participates, so the pool's workers are pure acceleration:
+// correctness never depends on one being free. fn must be safe to call
+// concurrently and should write only to i-indexed state.
+func (p *Pool) ForWorkers(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 || workers > p.size {
+		workers = p.size
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	p.once.Do(p.start)
+
+	var next int64
+	var wg sync.WaitGroup
+	task := func() {
+		defer wg.Done()
+		for {
+			i := int(atomic.AddInt64(&next, 1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+submit:
+	for k := 1; k < workers; k++ {
+		wg.Add(1)
+		select {
+		case p.work <- task:
+		default:
+			// No idle worker right now; the caller picks up the slack.
+			wg.Done()
+			break submit
+		}
+	}
+	wg.Add(1)
+	task()
+	wg.Wait()
+}
+
+// --- Shared default pool ---
+
+var (
+	defaultPool    = NewPool(runtime.NumCPU())
+	defaultWorkers atomic.Int64 // 0 = all cores
+)
+
+// SetWorkers sets the default worker count used by For/ForChunks/SumChunks
+// (and anything else that does not pass an explicit count). n <= 0 restores
+// the default of all cores. The CLIs wire their -workers flag here.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Workers returns the current default worker count.
+func Workers() int {
+	if w := defaultWorkers.Load(); w > 0 {
+		return int(w)
+	}
+	return runtime.NumCPU()
+}
+
+// For runs fn(i) for i in [0, n) on the shared pool at the default worker
+// count.
+func For(n int, fn func(i int)) {
+	defaultPool.ForWorkers(Workers(), n, fn)
+}
+
+// ForWorkers runs fn(i) for i in [0, n) on the shared pool with an
+// explicit worker cap (0 or less means the default count).
+func ForWorkers(workers, n int, fn func(i int)) {
+	if workers <= 0 {
+		workers = Workers()
+	}
+	defaultPool.ForWorkers(workers, n, fn)
+}
+
+// ForChunks partitions [0, total) into chunks of exactly chunkSize
+// elements (the last chunk may be short) and runs fn(lo, hi) for each
+// across the shared pool. Chunk boundaries depend only on total and
+// chunkSize — never on the worker count — so per-chunk work is stable
+// across configurations.
+func ForChunks(total, chunkSize int, fn func(lo, hi int)) {
+	if total <= 0 {
+		return
+	}
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	n := (total + chunkSize - 1) / chunkSize
+	if n == 1 {
+		fn(0, total)
+		return
+	}
+	For(n, func(i int) {
+		lo := i * chunkSize
+		hi := lo + chunkSize
+		if hi > total {
+			hi = total
+		}
+		fn(lo, hi)
+	})
+}
+
+// SumChunks reduces fn over fixed-size chunks of [0, total) and returns
+// the total. Partial sums are combined serially in chunk order, so the
+// result is bit-identical for any worker count (unlike a naive concurrent
+// float accumulation).
+func SumChunks(total, chunkSize int, fn func(lo, hi int) float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	n := (total + chunkSize - 1) / chunkSize
+	if n == 1 {
+		return fn(0, total)
+	}
+	partial := make([]float64, n)
+	For(n, func(i int) {
+		lo := i * chunkSize
+		hi := lo + chunkSize
+		if hi > total {
+			hi = total
+		}
+		partial[i] = fn(lo, hi)
+	})
+	s := 0.0
+	for _, v := range partial {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,35 @@
+package parallel
+
+import "math/rand"
+
+// RNG splitting: every parallel unit of stochastic work (a noise
+// trajectory, an optimizer start, an experiment case) receives its own
+// rand.Rand derived from (base seed, stream index) by the SplitMix64
+// mixer. Streams are decorrelated, independent of scheduling, and cheap to
+// construct, which is what makes results bit-identical regardless of
+// worker count: the unit's randomness is a function of its index, not of
+// which goroutine ran it first.
+
+// splitmix64 is the SplitMix64 output mixer (Steele, Lea & Flood 2014),
+// the standard avalanche function for turning correlated integers into
+// decorrelated seeds.
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// DeriveSeed returns the seed of stream `stream` rooted at `base`. It is
+// the SplitMix64 sequence with the golden-ratio increment, indexed at the
+// stream offset, so adjacent streams share no low-dimensional structure.
+func DeriveSeed(base int64, stream uint64) int64 {
+	return int64(splitmix64(uint64(base) + (stream+1)*0x9E3779B97F4A7C15))
+}
+
+// NewRand returns a rand.Rand seeded for the given stream of base.
+func NewRand(base int64, stream uint64) *rand.Rand {
+	return rand.New(rand.NewSource(DeriveSeed(base, stream)))
+}

@@ -8,11 +8,51 @@ import (
 	"sort"
 
 	"rasengan/internal/bitvec"
+	"rasengan/internal/parallel"
 )
 
 // MaxDenseQubits bounds the dense simulator register; 2^26 amplitudes is
 // one GiB of complex128, the practical ceiling for the baseline sweeps.
 const MaxDenseQubits = 26
+
+// parallelAmpThreshold is the state size (in amplitudes) above which the
+// dense kernels shard across the worker pool; smaller registers stay
+// serial because goroutine handoff costs more than the loop itself.
+const parallelAmpThreshold = 1 << 15
+
+// denseChunk is the fixed shard size for parallel kernels. Boundaries
+// depend only on the register size — never on the worker count — so the
+// chunk-ordered float reductions below are bit-identical however many
+// workers run them.
+const denseChunk = 1 << 13
+
+// forShards runs fn over contiguous index ranges covering the amplitude
+// array, in parallel for large registers. Every kernel routed through here
+// either touches only its own range or pairs index i with a partner j
+// whose unique owner is i (the partner's bit pattern excludes it from
+// being an owner itself), so contiguous shards never race on an element.
+// The kernels are element-wise, so a single full-range call is
+// bit-identical to any chunking; one worker takes that fast path.
+func (d *Dense) forShards(fn func(lo, hi uint64)) {
+	if len(d.amps) < parallelAmpThreshold || parallel.Workers() == 1 {
+		fn(0, uint64(len(d.amps)))
+		return
+	}
+	parallel.ForChunks(len(d.amps), denseChunk, func(lo, hi int) {
+		fn(uint64(lo), uint64(hi))
+	})
+}
+
+// sumShards reduces fn over the same fixed shards with chunk-ordered
+// (deterministic) combination.
+func (d *Dense) sumShards(fn func(lo, hi uint64) float64) float64 {
+	if len(d.amps) < parallelAmpThreshold {
+		return fn(0, uint64(len(d.amps)))
+	}
+	return parallel.SumChunks(len(d.amps), denseChunk, func(lo, hi int) float64 {
+		return fn(uint64(lo), uint64(hi))
+	})
+}
 
 // Dense is a full 2^n statevector. Basis index bit i corresponds to
 // decision variable / qubit i (little-endian), matching bitvec.
@@ -53,11 +93,14 @@ func (d *Dense) Probability(x uint64) float64 {
 
 // Norm returns ⟨ψ|ψ⟩.
 func (d *Dense) Norm() float64 {
-	s := 0.0
-	for _, a := range d.amps {
-		s += real(a)*real(a) + imag(a)*imag(a)
-	}
-	return s
+	return d.sumShards(func(lo, hi uint64) float64 {
+		amps := d.amps
+		s := 0.0
+		for _, a := range amps[lo:hi] {
+			s += real(a)*real(a) + imag(a)*imag(a)
+		}
+		return s
+	})
 }
 
 // Normalize rescales to unit norm; it reports whether the state was
@@ -68,24 +111,30 @@ func (d *Dense) Normalize() bool {
 		return false
 	}
 	inv := complex(1/nrm, 0)
-	for i := range d.amps {
-		d.amps[i] *= inv
-	}
+	d.forShards(func(lo, hi uint64) {
+		amps := d.amps
+		for i := lo; i < hi; i++ {
+			amps[i] *= inv
+		}
+	})
 	return true
 }
 
 // Apply1Q applies the 2x2 unitary m to qubit q.
 func (d *Dense) Apply1Q(q int, m [2][2]complex128) {
 	bit := uint64(1) << uint(q)
-	for i := uint64(0); i < uint64(len(d.amps)); i++ {
-		if i&bit != 0 {
-			continue
+	d.forShards(func(lo, hi uint64) {
+		amps := d.amps
+		for i := lo; i < hi; i++ {
+			if i&bit != 0 {
+				continue
+			}
+			j := i | bit
+			a0, a1 := amps[i], amps[j]
+			amps[i] = m[0][0]*a0 + m[0][1]*a1
+			amps[j] = m[1][0]*a0 + m[1][1]*a1
 		}
-		j := i | bit
-		a0, a1 := d.amps[i], d.amps[j]
-		d.amps[i] = m[0][0]*a0 + m[0][1]*a1
-		d.amps[j] = m[1][0]*a0 + m[1][1]*a1
-	}
+	})
 }
 
 // ApplyGate applies one gate of the IR.
@@ -127,32 +176,41 @@ func (d *Dense) ApplyGate(g Gate) {
 
 func (d *Dense) applyCX(ctrl, tgt int) {
 	cb, tb := uint64(1)<<uint(ctrl), uint64(1)<<uint(tgt)
-	for i := uint64(0); i < uint64(len(d.amps)); i++ {
-		if i&cb != 0 && i&tb == 0 {
-			j := i | tb
-			d.amps[i], d.amps[j] = d.amps[j], d.amps[i]
+	d.forShards(func(lo, hi uint64) {
+		amps := d.amps
+		for i := lo; i < hi; i++ {
+			if i&cb != 0 && i&tb == 0 {
+				j := i | tb
+				amps[i], amps[j] = amps[j], amps[i]
+			}
 		}
-	}
+	})
 }
 
 func (d *Dense) applySWAP(a, b int) {
 	ab, bb := uint64(1)<<uint(a), uint64(1)<<uint(b)
-	for i := uint64(0); i < uint64(len(d.amps)); i++ {
-		if i&ab != 0 && i&bb == 0 {
-			j := (i &^ ab) | bb
-			d.amps[i], d.amps[j] = d.amps[j], d.amps[i]
+	d.forShards(func(lo, hi uint64) {
+		amps := d.amps
+		for i := lo; i < hi; i++ {
+			if i&ab != 0 && i&bb == 0 {
+				j := (i &^ ab) | bb
+				amps[i], amps[j] = amps[j], amps[i]
+			}
 		}
-	}
+	})
 }
 
 func (d *Dense) applyCCX(c1, c2, tgt int) {
 	b1, b2, tb := uint64(1)<<uint(c1), uint64(1)<<uint(c2), uint64(1)<<uint(tgt)
-	for i := uint64(0); i < uint64(len(d.amps)); i++ {
-		if i&b1 != 0 && i&b2 != 0 && i&tb == 0 {
-			j := i | tb
-			d.amps[i], d.amps[j] = d.amps[j], d.amps[i]
+	d.forShards(func(lo, hi uint64) {
+		amps := d.amps
+		for i := lo; i < hi; i++ {
+			if i&b1 != 0 && i&b2 != 0 && i&tb == 0 {
+				j := i | tb
+				amps[i], amps[j] = amps[j], amps[i]
+			}
 		}
-	}
+	})
 }
 
 func (d *Dense) applyMCP(qubits []int, theta float64) {
@@ -161,11 +219,14 @@ func (d *Dense) applyMCP(qubits []int, theta float64) {
 		mask |= 1 << uint(q)
 	}
 	e := cmplx.Exp(complex(0, theta))
-	for i := uint64(0); i < uint64(len(d.amps)); i++ {
-		if i&mask == mask {
-			d.amps[i] *= e
+	d.forShards(func(lo, hi uint64) {
+		amps := d.amps
+		for i := lo; i < hi; i++ {
+			if i&mask == mask {
+				amps[i] *= e
+			}
 		}
-	}
+	})
 }
 
 // Run applies every gate of the circuit in order.
@@ -184,9 +245,12 @@ func (d *Dense) ApplyDiagonalPhase(energy []float64, gamma float64) {
 	if len(energy) != len(d.amps) {
 		panic(fmt.Sprintf("quantum: energy table of %d entries for %d amplitudes", len(energy), len(d.amps)))
 	}
-	for i := range d.amps {
-		d.amps[i] *= cmplx.Exp(complex(0, -gamma*energy[i]))
-	}
+	d.forShards(func(lo, hi uint64) {
+		amps := d.amps
+		for i := lo; i < hi; i++ {
+			amps[i] *= cmplx.Exp(complex(0, -gamma*energy[i]))
+		}
+	})
 }
 
 // ApplyTransition applies exp(-i·H^τ(u)·t) exactly by amplitude pairing:
@@ -212,55 +276,80 @@ func (d *Dense) ApplyTransition(u []int64, t float64) {
 	if plus == 0 && minus == 0 {
 		return
 	}
-	for i := uint64(0); i < uint64(len(d.amps)); i++ {
-		// Treat i as the "lower" element of the pair: x with x+u valid.
-		if i&plus == 0 && i&minus == minus {
-			j := (i | plus) &^ minus
-			a, b := d.amps[i], d.amps[j]
-			d.amps[i] = ct*a - st*b
-			d.amps[j] = ct*b - st*a
+	d.forShards(func(lo, hi uint64) {
+		amps := d.amps
+		for i := lo; i < hi; i++ {
+			// Treat i as the "lower" element of the pair: x with x+u valid.
+			if i&plus == 0 && i&minus == minus {
+				j := (i | plus) &^ minus
+				a, b := amps[i], amps[j]
+				amps[i] = ct*a - st*b
+				amps[j] = ct*b - st*a
+			}
 		}
-	}
+	})
 }
 
 // Probabilities returns the full probability vector (a copy).
 func (d *Dense) Probabilities() []float64 {
 	out := make([]float64, len(d.amps))
-	for i, a := range d.amps {
-		out[i] = real(a)*real(a) + imag(a)*imag(a)
-	}
+	d.forShards(func(lo, hi uint64) {
+		amps := d.amps
+		for i := lo; i < hi; i++ {
+			a := amps[i]
+			out[i] = real(a)*real(a) + imag(a)*imag(a)
+		}
+	})
 	return out
 }
 
 // ExpectationDiagonal returns Σ_x p(x)·energy[x].
 func (d *Dense) ExpectationDiagonal(energy []float64) float64 {
-	s := 0.0
-	for i, a := range d.amps {
-		p := real(a)*real(a) + imag(a)*imag(a)
-		if p != 0 {
-			s += p * energy[i]
+	return d.sumShards(func(lo, hi uint64) float64 {
+		amps := d.amps
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			a := amps[i]
+			p := real(a)*real(a) + imag(a)*imag(a)
+			if p != 0 {
+				s += p * energy[i]
+			}
 		}
-	}
-	return s
+		return s
+	})
 }
 
-// Sample draws shots basis-state measurements.
+// Sample draws shots basis-state measurements. All uniform draws are taken
+// up front and sorted, so the CDF is consumed in one merge pass instead of
+// a binary search per shot; the counts are identical to the per-shot
+// search (same draws, same cell boundaries), just cheaper.
 func (d *Dense) Sample(rng *rand.Rand, shots int) map[bitvec.Vec]int {
 	probs := d.Probabilities()
-	cdf := make([]float64, len(probs))
+	cdf := probs // prefix-sum in place; probs is a private copy
 	acc := 0.0
-	for i, p := range probs {
+	for i, p := range cdf {
 		acc += p
 		cdf[i] = acc
 	}
 	out := make(map[bitvec.Vec]int)
-	for s := 0; s < shots; s++ {
-		r := rng.Float64() * acc
-		idx := sort.SearchFloat64s(cdf, r)
-		if idx >= len(cdf) {
-			idx = len(cdf) - 1
+	draws := make([]float64, shots)
+	for i := range draws {
+		draws[i] = rng.Float64() * acc
+	}
+	sort.Float64s(draws)
+	idx, pending := 0, 0
+	for _, r := range draws {
+		for idx < len(cdf)-1 && cdf[idx] < r {
+			if pending > 0 {
+				out[bitvec.FromUint64(uint64(idx), d.n)] += pending
+				pending = 0
+			}
+			idx++
 		}
-		out[bitvec.FromUint64(uint64(idx), d.n)]++
+		pending++
+	}
+	if pending > 0 {
+		out[bitvec.FromUint64(uint64(idx), d.n)] += pending
 	}
 	return out
 }

@@ -3,8 +3,10 @@ package quantum
 import (
 	"math"
 	"math/rand"
+	"sort"
 
 	"rasengan/internal/bitvec"
+	"rasengan/internal/parallel"
 )
 
 // NoiseModel describes the NISQ error channels of the evaluation section.
@@ -169,33 +171,64 @@ func RunDenseTrajectory(c *Circuit, init *Dense, nm *NoiseModel, rng *rand.Rand)
 // using trajectories independent noise realizations (shots are split
 // evenly across trajectories; trajectories ≤ shots). Readout errors are
 // applied per shot.
+//
+// Trajectories fan out across the shared worker pool. Each one owns a
+// SplitMix64-derived RNG stream rooted at a single draw from the caller's
+// rng, and per-trajectory counts merge by commutative integer addition, so
+// the result is bit-identical for any worker count.
 func SampleDenseNoisy(c *Circuit, init *Dense, nm *NoiseModel, shots, trajectories int, rng *rand.Rand) map[bitvec.Vec]int {
 	if trajectories <= 0 || trajectories > shots {
 		trajectories = shots
 	}
-	out := make(map[bitvec.Vec]int)
-	base := shots / trajectories
-	extra := shots % trajectories
-	for t := 0; t < trajectories; t++ {
-		n := base
+	base := rng.Int63()
+	perShare := 0
+	extra := 0
+	if trajectories > 0 {
+		perShare = shots / trajectories
+		extra = shots % trajectories
+	}
+	perTraj := make([]map[bitvec.Vec]int, trajectories)
+	parallel.For(trajectories, func(t int) {
+		n := perShare
 		if t < extra {
 			n++
 		}
 		if n == 0 {
-			continue
+			return
 		}
-		d := RunDenseTrajectory(c, init, nm, rng)
-		for x, cnt := range d.Sample(rng, n) {
-			if !nm.IsZero() {
-				for i := 0; i < cnt; i++ {
-					out[nm.ApplyReadout(x, rng)]++
+		trng := parallel.NewRand(base, uint64(t))
+		d := RunDenseTrajectory(c, init, nm, trng)
+		counts := d.Sample(trng, n)
+		if !nm.IsZero() && nm.ReadoutError > 0 {
+			// Iterate in sorted key order: readout flips consume the
+			// trajectory rng, so map-iteration order must not leak in.
+			flipped := make(map[bitvec.Vec]int, len(counts))
+			for _, x := range sortedCountKeys(counts) {
+				for i := 0; i < counts[x]; i++ {
+					flipped[nm.ApplyReadout(x, trng)]++
 				}
-			} else {
-				out[x] += cnt
 			}
+			counts = flipped
+		}
+		perTraj[t] = counts
+	})
+	out := make(map[bitvec.Vec]int)
+	for _, m := range perTraj {
+		for x, cnt := range m {
+			out[x] += cnt
 		}
 	}
 	return out
+}
+
+// sortedCountKeys returns the keys of a count map in deterministic order.
+func sortedCountKeys(m map[bitvec.Vec]int) []bitvec.Vec {
+	keys := make([]bitvec.Vec, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Compare(keys[j]) < 0 })
+	return keys
 }
 
 // --- Sparse trajectory channels ---

@@ -1,0 +1,82 @@
+package quantum
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"rasengan/internal/parallel"
+)
+
+// benchWorkerCounts returns the worker counts worth measuring on this
+// host: serial, powers of two up to the core count, and the core count.
+func benchWorkerCounts() []int {
+	counts := []int{1}
+	for w := 2; w < runtime.NumCPU(); w *= 2 {
+		counts = append(counts, w)
+	}
+	if n := runtime.NumCPU(); n > 1 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkTrajectoriesParallel measures the Monte-Carlo trajectory
+// fan-out of SampleDenseNoisy — the Fig. 14 hot loop — at each worker
+// count. Results are bit-identical across sub-benchmarks; only wall-clock
+// may differ.
+func BenchmarkTrajectoriesParallel(b *testing.B) {
+	c := NewCircuit(12)
+	for q := 0; q < 12; q++ {
+		c.H(q)
+	}
+	for layer := 0; layer < 3; layer++ {
+		for q := 0; q+1 < 12; q++ {
+			c.CX(q, q+1)
+			c.RZ(q, 0.2+0.05*float64(q))
+		}
+	}
+	nm := &NoiseModel{OneQubitDepol: 0.001, TwoQubitDepol: 0.01, AmplitudeDamping: 0.002, PhaseDamping: 0.002, ReadoutError: 0.01}
+	init := NewDense(12)
+	defer parallel.SetWorkers(0)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			parallel.SetWorkers(w)
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				SampleDenseNoisy(c, init, nm, 256, 32, rng)
+			}
+		})
+	}
+}
+
+// BenchmarkDenseKernelsParallel measures the sharded statevector kernels
+// on a register above the parallel threshold (2^20 amplitudes), the
+// regime of the wide dense-baseline sweeps.
+func BenchmarkDenseKernelsParallel(b *testing.B) {
+	const n = 20
+	energy := make([]float64, 1<<n)
+	for i := range energy {
+		energy[i] = float64(i % 101)
+	}
+	u := make([]int64, n)
+	u[2], u[9], u[17] = 1, -1, 1
+	defer parallel.SetWorkers(0)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			parallel.SetWorkers(w)
+			d := NewDense(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Apply1Q(7, [2][2]complex128{{complex(0.8, 0), complex(0.6, 0)}, {complex(-0.6, 0), complex(0.8, 0)}})
+				d.applyCX(3, 15)
+				d.applyMCP([]int{1, 8, 14}, 0.4)
+				d.ApplyTransition(u, 0.5)
+				_ = d.Norm()
+				_ = d.ExpectationDiagonal(energy)
+			}
+		})
+	}
+}

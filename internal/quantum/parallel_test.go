@@ -1,0 +1,164 @@
+package quantum
+
+import (
+	"math/rand"
+	"testing"
+
+	"rasengan/internal/parallel"
+)
+
+// noisyTestCircuit builds a circuit wide enough to exercise the sharded
+// kernels and deep enough for every noise channel to fire.
+func noisyTestCircuit(n int) *Circuit {
+	c := NewCircuit(n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	for q := 0; q+1 < n; q++ {
+		c.CX(q, q+1)
+		c.RZ(q, 0.3+0.1*float64(q))
+	}
+	return c
+}
+
+func sameCounts(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSampleDenseNoisyDeterministicAcrossWorkers is the tentpole
+// guarantee: the same seed must produce identical counts whether
+// trajectories run serially or fanned across eight workers.
+func TestSampleDenseNoisyDeterministicAcrossWorkers(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	c := noisyTestCircuit(6)
+	nm := &NoiseModel{
+		OneQubitDepol:    0.002,
+		TwoQubitDepol:    0.01,
+		AmplitudeDamping: 0.005,
+		PhaseDamping:     0.005,
+		ReadoutError:     0.01,
+	}
+	run := func(workers int) map[string]int {
+		parallel.SetWorkers(workers)
+		rng := rand.New(rand.NewSource(99))
+		counts := SampleDenseNoisy(c, NewDense(6), nm, 512, 32, rng)
+		out := make(map[string]int, len(counts))
+		total := 0
+		for x, n := range counts {
+			out[x.String()] = n
+			total += n
+		}
+		if total != 512 {
+			t.Fatalf("workers=%d: %d shots, want 512", workers, total)
+		}
+		return out
+	}
+	want := run(1)
+	for _, w := range []int{2, 8} {
+		if got := run(w); !sameCounts(got, want) {
+			t.Errorf("workers=%d: counts differ from serial run", w)
+		}
+	}
+}
+
+// TestDenseKernelsDeterministicAcrossWorkers drives a register above the
+// sharding threshold through every parallelized kernel and demands
+// bit-identical amplitudes and reductions at any worker count.
+func TestDenseKernelsDeterministicAcrossWorkers(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	const n = 16 // 65536 amplitudes, above parallelAmpThreshold
+	run := func(workers int) (*Dense, float64, float64) {
+		parallel.SetWorkers(workers)
+		d := NewDense(n)
+		for q := 0; q < n; q++ {
+			d.ApplyGate(Gate{Kind: GateH, Qubits: []int{q}})
+		}
+		for q := 0; q+1 < n; q += 2 {
+			d.ApplyGate(Gate{Kind: GateCX, Qubits: []int{q, q + 1}})
+		}
+		d.ApplyGate(Gate{Kind: GateCCX, Qubits: []int{0, 5, 9}})
+		d.ApplyGate(Gate{Kind: GateSWAP, Qubits: []int{2, 12}})
+		d.ApplyGate(Gate{Kind: GateMCP, Qubits: []int{1, 7, 13}, Theta: 0.8})
+		d.ApplyGate(Gate{Kind: GateRY, Qubits: []int{3}, Theta: 0.5})
+		u := make([]int64, n)
+		u[4], u[10], u[15] = 1, -1, 1
+		d.ApplyTransition(u, 0.6)
+		energy := make([]float64, 1<<n)
+		for i := range energy {
+			energy[i] = float64(i%31) - 7
+		}
+		d.ApplyDiagonalPhase(energy, 0.2)
+		d.Normalize()
+		return d, d.Norm(), d.ExpectationDiagonal(energy)
+	}
+	ref, refNorm, refExp := run(1)
+	for _, w := range []int{3, 8} {
+		got, gotNorm, gotExp := run(w)
+		if gotNorm != refNorm || gotExp != refExp {
+			t.Errorf("workers=%d: reductions differ: norm %v vs %v, exp %v vs %v",
+				w, gotNorm, refNorm, gotExp, refExp)
+		}
+		for i := range ref.amps {
+			if got.amps[i] != ref.amps[i] {
+				t.Fatalf("workers=%d: amplitude %d differs: %v vs %v", w, i, got.amps[i], ref.amps[i])
+			}
+		}
+	}
+}
+
+// TestDenseSampleMatchesBinarySearchSemantics pins the batch-draw sampler
+// to the old per-shot binary search: same rng, same counts.
+func TestDenseSampleMatchesBinarySearchSemantics(t *testing.T) {
+	d := NewDense(4)
+	for q := 0; q < 4; q++ {
+		d.ApplyGate(Gate{Kind: GateH, Qubits: []int{q}})
+	}
+	d.ApplyGate(Gate{Kind: GateRY, Qubits: []int{1}, Theta: 0.9})
+	probs := d.Probabilities()
+	cdf := make([]float64, len(probs))
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		cdf[i] = acc
+	}
+	// Reference: per-shot binary search with the same seed.
+	const shots = 4096
+	rng := rand.New(rand.NewSource(31))
+	want := map[uint64]int{}
+	for s := 0; s < shots; s++ {
+		r := rng.Float64() * acc
+		lo, hi := 0, len(cdf)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo >= len(cdf) {
+			lo = len(cdf) - 1
+		}
+		want[uint64(lo)]++
+	}
+	got := d.Sample(rand.New(rand.NewSource(31)), shots)
+	for x, n := range got {
+		if want[x.Uint64()] != n {
+			t.Fatalf("state %v: batch draw %d, binary search %d", x, n, want[x.Uint64()])
+		}
+		delete(want, x.Uint64())
+	}
+	for x, n := range want {
+		if n != 0 {
+			t.Fatalf("state %b only in reference (count %d)", x, n)
+		}
+	}
+}

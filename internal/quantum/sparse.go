@@ -17,6 +17,10 @@ import (
 type Sparse struct {
 	n    int
 	amps map[bitvec.Vec]complex128
+
+	// scratch is reused across ApplyTransition calls to snapshot the
+	// support without allocating; it holds no state between calls.
+	scratch []bitvec.Vec
 }
 
 // NewSparse returns the basis state |x⟩.
@@ -167,28 +171,29 @@ func (s *Sparse) ApplyTransition(u []int64, t float64) {
 	}
 	ct := complex(math.Cos(t), 0)
 	st := complex(0, math.Sin(t))
-	processed := make(map[bitvec.Vec]bool, len(s.amps))
-	keys := make([]bitvec.Vec, 0, len(s.amps))
+	// Pairs under a fixed u are disjoint: a state with 0s at every +1
+	// position cannot also have 1s there, so AddSigned and SubSigned can
+	// never both succeed. Each pair is processed once, from its lower
+	// member when that member has stored amplitude and from the upper
+	// member otherwise — no visited-set allocation needed. Amplitudes are
+	// written directly (zeros kept, pruned below) so the partner-presence
+	// check stays valid throughout the pass.
+	s.scratch = s.scratch[:0]
 	for k := range s.amps {
-		keys = append(keys, k)
+		s.scratch = append(s.scratch, k)
 	}
-	for _, x := range keys {
-		if processed[x] {
-			continue
-		}
-		var lo, hi bitvec.Vec
+	for _, x := range s.scratch {
 		if y, ok := x.AddSigned(u); ok {
-			lo, hi = x, y
+			a, b := s.amps[x], s.amps[y]
+			s.amps[x] = ct*a - st*b
+			s.amps[y] = ct*b - st*a
 		} else if y, ok := x.SubSigned(u); ok {
-			lo, hi = y, x
-		} else {
-			processed[x] = true
-			continue
+			if _, seen := s.amps[y]; !seen {
+				b := s.amps[x]
+				s.amps[y] = -st * b
+				s.amps[x] = ct * b
+			}
 		}
-		processed[lo], processed[hi] = true, true
-		a, b := s.amps[lo], s.amps[hi]
-		s.SetAmplitude(lo, ct*a-st*b)
-		s.SetAmplitude(hi, ct*b-st*a)
 	}
 	s.prune()
 }
@@ -215,6 +220,9 @@ func (s *Sparse) Support() []bitvec.Vec {
 
 // Sample draws shots measurements in the computational basis. The state
 // need not be normalized; probabilities are taken relative to the norm.
+// All uniform draws are taken up front and sorted so the support CDF is
+// consumed in one merge pass rather than a binary search per shot; counts
+// are identical to the per-shot search (same draws, same cell boundaries).
 func (s *Sparse) Sample(rng *rand.Rand, shots int) map[bitvec.Vec]int {
 	keys := s.Support()
 	cdf := make([]float64, len(keys))
@@ -225,14 +233,26 @@ func (s *Sparse) Sample(rng *rand.Rand, shots int) map[bitvec.Vec]int {
 		cdf[i] = acc
 	}
 	out := make(map[bitvec.Vec]int)
-	for t := 0; t < shots; t++ {
-		r := rng.Float64() * acc
-		idx := sort.SearchFloat64s(cdf, r)
-		if idx >= len(keys) {
-			idx = len(keys) - 1
-		}
-		out[keys[idx]]++
+	if len(keys) == 0 || shots <= 0 {
+		return out
 	}
+	draws := make([]float64, shots)
+	for i := range draws {
+		draws[i] = rng.Float64() * acc
+	}
+	sort.Float64s(draws)
+	idx, pending := 0, 0
+	for _, r := range draws {
+		for idx < len(keys)-1 && cdf[idx] < r {
+			if pending > 0 {
+				out[keys[idx]] += pending
+				pending = 0
+			}
+			idx++
+		}
+		pending++
+	}
+	out[keys[idx]] += pending
 	return out
 }
 
