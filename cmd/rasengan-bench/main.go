@@ -40,16 +40,16 @@ func main() {
 		full     = flag.Bool("full", false, "paper-scale parameters (slow)")
 		maxDense = flag.Int("maxdense", 0, "dense-baseline qubit cap (0 = default)")
 		jsonDir  = flag.String("json", "", "also write each experiment's structured result as JSON into this directory")
-		workers  = flag.Int("workers", 0, "worker-pool size for all parallel execution: case sweeps, noise trajectories, dense kernels, multi-start (0 = all cores)")
-		parFlag  = flag.Int("parallel", 0, "deprecated alias for -workers")
 	)
+	wf := parallel.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	if *workers == 0 {
-		*workers = *parFlag
+	workers, err := wf.Apply()
+	if err != nil {
+		log.Fatal(err)
 	}
-	if *workers > 0 {
-		parallel.SetWorkers(*workers)
+	if *cases < 0 || *iters < 0 || *shots < 0 || *layers < 0 || *maxDense < 0 {
+		log.Fatal("-cases, -iters, -shots, -layers, and -maxdense must be >= 0")
 	}
 	cfg := experiments.Config{
 		Cases:          *cases,
@@ -59,7 +59,7 @@ func main() {
 		Seed:           *seed,
 		Full:           *full,
 		MaxDenseQubits: *maxDense,
-		Workers:        *workers,
+		Workers:        workers,
 	}
 	if *jsonDir != "" {
 		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {

@@ -17,6 +17,7 @@ import (
 
 	"rasengan"
 	"rasengan/internal/core"
+	"rasengan/internal/parallel"
 	"rasengan/internal/problems"
 	"rasengan/internal/quantum"
 	"rasengan/internal/transpile"
@@ -35,7 +36,15 @@ func main() {
 		saveSched = flag.String("save-schedule", "", "write the pruned schedule as JSON to this path")
 		dumpProb  = flag.String("dump-problem", "", "write the instance as JSON to this path")
 	)
+	wf := parallel.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	if _, err := wf.Apply(); err != nil {
+		log.Fatal(err)
+	}
+	if *caseIdx < 0 {
+		log.Fatalf("-case must be >= 0 (got %d)", *caseIdx)
+	}
 
 	b, err := problems.ByLabel(*bench)
 	if err != nil {

@@ -1,0 +1,117 @@
+// Command rasengan-serve runs the long-lived Rasengan solve service: an
+// HTTP/JSON API over a bounded job queue, a content-addressed result
+// cache, and Prometheus metrics.
+//
+// Usage:
+//
+//	rasengan-serve -addr :8080
+//	rasengan-serve -addr :8080 -executors 4 -queue 128 -cache 512
+//
+// API:
+//
+//	POST /v1/solve            submit a problem spec (optionally wait inline)
+//	GET  /v1/jobs/{id}        poll job status / fetch the result
+//	POST /v1/jobs/{id}/cancel cancel a queued or running job
+//	GET  /v1/problems         list generator families × scales
+//	GET  /healthz             liveness
+//	GET  /metrics             Prometheus text format
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/solve -d \
+//	  '{"spec":{"family":"FLP","scale":1,"case":0},"config":{"seed":1,"max_iter":50},"wait_ms":30000}'
+//
+// On SIGINT/SIGTERM the server stops accepting work (503), finishes
+// every accepted job, and exits cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rasengan/internal/parallel"
+	"rasengan/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rasengan-serve: ")
+
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		queueCap  = flag.Int("queue", 64, "job queue capacity (full queue answers 429)")
+		executors = flag.Int("executors", 2, "jobs solved concurrently (each fans onto the shared worker pool)")
+		cacheSize = flag.Int("cache", 256, "result-cache entries (negative disables caching)")
+		timeout   = flag.Duration("timeout", 60*time.Second, "default per-job deadline")
+		maxIter   = flag.Int("max-iters", 300, "cap on per-request optimizer iterations")
+		maxVars   = flag.Int("max-vars", 40, "largest accepted problem width in variables")
+		drainWait = flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for accepted jobs")
+	)
+	wf := parallel.AddFlags(flag.CommandLine)
+	flag.Parse()
+
+	if _, err := wf.Apply(); err != nil {
+		log.Fatal(err)
+	}
+	if *queueCap < 1 {
+		log.Fatalf("-queue must be >= 1 (got %d)", *queueCap)
+	}
+	if *executors < 1 {
+		log.Fatalf("-executors must be >= 1 (got %d)", *executors)
+	}
+	if *maxIter < 1 {
+		log.Fatalf("-max-iters must be >= 1 (got %d)", *maxIter)
+	}
+	if *maxVars < 1 {
+		log.Fatalf("-max-vars must be >= 1 (got %d)", *maxVars)
+	}
+
+	srv := service.New(service.Config{
+		QueueCapacity:  *queueCap,
+		Executors:      *executors,
+		CacheEntries:   *cacheSize,
+		DefaultTimeout: *timeout,
+		MaxIter:        *maxIter,
+		MaxVars:        *maxVars,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (queue %d, executors %d, cache %d, workers %d)",
+			*addr, *queueCap, *executors, *cacheSize, parallel.Workers())
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case got := <-sig:
+		log.Printf("received %s, draining (accepted jobs will finish)", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("drain: %v (some jobs may be unfinished)", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Print("drained, exiting")
+}

@@ -39,12 +39,31 @@ func main() {
 		verbose    = flag.Bool("v", false, "print the full output distribution")
 		draw       = flag.Bool("draw", false, "draw the first transition-operator circuit")
 		emitQASM   = flag.Bool("qasm", false, "print the first transition-operator circuit as OpenQASM 2.0")
-		workers    = flag.Int("workers", 0, "worker-pool size for parallel execution: noise trajectories, dense kernels, multi-start (0 = all cores); results are identical at any setting")
 	)
+	wf := parallel.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	if *workers > 0 {
-		parallel.SetWorkers(*workers)
+	// Validate everything up front: a bad flag is a one-line error and a
+	// non-zero exit, never a panic or a silent default.
+	if _, err := wf.Apply(); err != nil {
+		log.Fatal(err)
+	}
+	if *caseIdx < 0 {
+		log.Fatalf("-case must be >= 0 (got %d)", *caseIdx)
+	}
+	if *iters < 1 {
+		log.Fatalf("-iters must be >= 1 (got %d)", *iters)
+	}
+	if *shots < 0 {
+		log.Fatalf("-shots must be >= 0 (got %d)", *shots)
+	}
+	if *bench == "" && *probFile == "" {
+		if !problems.KnownFamily(*family) {
+			log.Fatalf("unknown problem family %q (known: FLP, KPP, JSP, SCP, GCP)", *family)
+		}
+		if *demands < 1 || *facilities < 1 {
+			log.Fatalf("-demands and -facilities must be >= 1 (got %d, %d)", *demands, *facilities)
+		}
 	}
 
 	var p *rasengan.Problem
@@ -67,7 +86,7 @@ func main() {
 	case *family == "FLP":
 		p = rasengan.NewFacilityLocation(rasengan.FLPConfig{Demands: *demands, Facilities: *facilities}, *seed)
 	default:
-		log.Fatalf("custom sizes are supported for -family FLP; use -bench for %s", *family)
+		log.Fatalf("custom sizes are supported for -family FLP only; use -bench for %s (e.g. -bench %c1)", *family, (*family)[0])
 	}
 
 	opts := rasengan.SolveOptions{MaxIter: *iters, Seed: *seed}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"math"
+
+	"rasengan/internal/optimize"
+)
+
+// canonicalOptions is the deterministic wire form of every solver knob
+// that can change a solve's output. Field order is fixed by the struct,
+// defaults are applied before encoding, and knobs that provably do not
+// affect results (the worker count — see internal/parallel's determinism
+// contract) are deliberately absent. The serving layer keys its result
+// cache on the fingerprint of this encoding, so two requests that
+// resolve to the same canonical options are interchangeable.
+type canonicalOptions struct {
+	Optimizer    string    `json:"optimizer"`
+	MaxIter      int       `json:"max_iter"`
+	MaxEvals     int       `json:"max_evals"`
+	InitialTime  float64   `json:"initial_time"`
+	InitialTimes []float64 `json:"initial_times,omitempty"`
+	Seed         int64     `json:"seed"`
+
+	BasisDisableSimplify bool `json:"basis_disable_simplify"`
+	SearchMaxSupport     int  `json:"search_max_support"`
+	SearchNodeBudget     int  `json:"search_node_budget"`
+	SearchMaxVectors     int  `json:"search_max_vectors"`
+
+	SchedRounds           int  `json:"sched_rounds"`
+	SchedDisablePrune     bool `json:"sched_disable_prune"`
+	SchedEarlyStopWindow  int  `json:"sched_early_stop_window"`
+	SchedMaxOps           int  `json:"sched_max_ops"`
+	SchedMaxTrackedStates int  `json:"sched_max_tracked_states"`
+	SchedSparsestFirst    bool `json:"sched_sparsest_first"`
+
+	ExecShots               int     `json:"exec_shots"`
+	ExecOpsPerSegment       int     `json:"exec_ops_per_segment"`
+	ExecDepthBudget         int     `json:"exec_depth_budget"`
+	ExecDisableSegmentation bool    `json:"exec_disable_segmentation"`
+	ExecDisablePurify       bool    `json:"exec_disable_purify"`
+	ExecDevice              string  `json:"exec_device"`
+	ExecTrajectories        int     `json:"exec_trajectories"`
+	ExecShotGrowth          float64 `json:"exec_shot_growth"`
+	ExecMaxShotsPerSegment  int     `json:"exec_max_shots_per_segment"`
+}
+
+// CanonicalOptionsJSON encodes opts in canonical form: compact JSON,
+// fixed field order, documented defaults substituted for zero values so
+// that "default by omission" and "default spelled out" hash identically.
+func CanonicalOptionsJSON(opts Options) []byte {
+	c := canonicalOptions{
+		Optimizer:    string(opts.Optimizer),
+		MaxIter:      opts.MaxIter,
+		MaxEvals:     opts.MaxEvals,
+		InitialTime:  opts.InitialTime,
+		InitialTimes: opts.InitialTimes,
+		Seed:         opts.Seed,
+
+		BasisDisableSimplify: opts.Basis.DisableSimplify,
+		SearchMaxSupport:     opts.Basis.Search.MaxSupport,
+		SearchNodeBudget:     opts.Basis.Search.NodeBudget,
+		SearchMaxVectors:     opts.Basis.Search.MaxVectors,
+
+		SchedRounds:           opts.Schedule.Rounds,
+		SchedDisablePrune:     opts.Schedule.DisablePrune,
+		SchedEarlyStopWindow:  opts.Schedule.EarlyStopWindow,
+		SchedMaxOps:           opts.Schedule.MaxOps,
+		SchedMaxTrackedStates: opts.Schedule.MaxTrackedStates,
+		SchedSparsestFirst:    opts.Schedule.SparsestFirst,
+
+		ExecShots:               opts.Exec.Shots,
+		ExecOpsPerSegment:       opts.Exec.OpsPerSegment,
+		ExecDepthBudget:         opts.Exec.DepthBudget,
+		ExecDisableSegmentation: opts.Exec.DisableSegmentation,
+		ExecDisablePurify:       opts.Exec.DisablePurify,
+		ExecTrajectories:        opts.Exec.Trajectories,
+		ExecShotGrowth:          opts.Exec.ShotGrowth,
+		ExecMaxShotsPerSegment:  opts.Exec.MaxShotsPerSegment,
+	}
+	// Apply the same defaults Solve applies, so equivalent requests key
+	// identically.
+	if c.Optimizer == "" {
+		c.Optimizer = string(optimize.MethodCOBYLA)
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 100
+	}
+	if c.InitialTime == 0 {
+		c.InitialTime = math.Pi / 4
+	}
+	if c.ExecShotGrowth == 1 {
+		c.ExecShotGrowth = 0 // 0 and 1 both mean "constant shots"
+	}
+	if opts.Exec.Device != nil {
+		c.ExecDevice = opts.Exec.Device.Name
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		// canonicalOptions contains only marshalable scalar fields.
+		panic("core: canonical options: " + err.Error())
+	}
+	return data
+}
+
+// OptionsFingerprint returns the hex SHA-256 of the canonical encoding —
+// the solver-config half of the serving layer's cache key.
+func OptionsFingerprint(opts Options) string {
+	sum := sha256.Sum256(CanonicalOptionsJSON(opts))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"rasengan/internal/device"
+	"rasengan/internal/optimize"
+)
+
+func TestOptionsFingerprintDefaultsCollapse(t *testing.T) {
+	// Spelling out the documented defaults must hash identically to the
+	// zero value, or the cache would treat equivalent requests as
+	// distinct.
+	zero := Options{}
+	spelled := Options{Optimizer: optimize.MethodCOBYLA, MaxIter: 100, InitialTime: 0.7853981633974483}
+	if OptionsFingerprint(zero) != OptionsFingerprint(spelled) {
+		t.Errorf("defaults do not collapse:\n%s\n%s",
+			CanonicalOptionsJSON(zero), CanonicalOptionsJSON(spelled))
+	}
+	growth1 := Options{}
+	growth1.Exec.ShotGrowth = 1
+	if OptionsFingerprint(zero) != OptionsFingerprint(growth1) {
+		t.Error("shot growth 1 (constant) should equal growth 0")
+	}
+}
+
+func TestOptionsFingerprintSensitivity(t *testing.T) {
+	base := OptionsFingerprint(Options{})
+	variants := map[string]Options{}
+
+	o := Options{}
+	o.Seed = 7
+	variants["seed"] = o
+
+	o = Options{}
+	o.MaxIter = 50
+	variants["max_iter"] = o
+
+	o = Options{}
+	o.Exec.Shots = 1024
+	variants["shots"] = o
+
+	o = Options{}
+	o.Exec.Device = device.Kyiv()
+	variants["device"] = o
+
+	o = Options{}
+	o.Schedule.SparsestFirst = true
+	variants["sparsest_first"] = o
+
+	o = Options{}
+	o.Optimizer = optimize.MethodSPSA
+	variants["optimizer"] = o
+
+	seen := map[string]string{base: "base"}
+	for name, v := range variants {
+		fp := OptionsFingerprint(v)
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		seen[fp] = name
+	}
+}
+
+func TestCanonicalOptionsJSONShape(t *testing.T) {
+	got := string(CanonicalOptionsJSON(Options{}))
+	for _, want := range []string{`"optimizer":"cobyla"`, `"max_iter":100`, `"seed":0`, `"exec_device":""`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("canonical JSON missing %s: %s", want, got)
+		}
+	}
+	if strings.Contains(got, "workers") {
+		t.Error("canonical options must not include the worker count")
+	}
+}

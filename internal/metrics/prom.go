@@ -1,0 +1,299 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file is the operational-metrics half of the package: a minimal
+// Prometheus text-format (version 0.0.4) registry used by the serving
+// layer. It supports the three instrument kinds the service needs —
+// counters, gauges, and fixed-bucket histograms — with optional label
+// pairs per child. Stdlib only; the exposition output is deterministic
+// (families sorted by name, children by label string) so tests can
+// compare it byte-for-byte.
+
+// Registry holds named metric families and renders them as Prometheus
+// text. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type family struct {
+	name, help, kind string
+	children         map[string]*child // key: rendered label string, "" for unlabeled
+}
+
+type child struct {
+	mu     sync.Mutex
+	labels string
+	value  float64 // counter / gauge value
+	fn     func() float64
+
+	// histogram state
+	bounds []float64 // ascending upper bounds, +Inf implicit
+	counts []uint64  // one per bound, plus the +Inf bucket at the end
+	sum    float64
+	count  uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+func (r *Registry) family(name, help, kind string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, children: map[string]*child{}}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s registered as %s and %s", name, f.kind, kind))
+	}
+	return f
+}
+
+func (f *family) child(labels [][2]string) *child {
+	key := renderLabels(labels)
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c := &child{labels: key}
+	f.children[key] = c
+	return c
+}
+
+// renderLabels produces the canonical {k="v",...} body with keys in the
+// order given by the caller (callers pass a fixed order, keeping series
+// identity stable).
+func renderLabels(labels [][2]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, kv := range labels {
+		parts[i] = fmt.Sprintf("%s=%q", kv[0], kv[1])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ c *child }
+
+// Counter returns the unlabeled counter of the family, creating it on
+// first use.
+func (r *Registry) Counter(name, help string) Counter {
+	return r.CounterWith(name, help)
+}
+
+// CounterWith returns the counter child with the given ordered label
+// pairs, e.g. CounterWith("http_requests_total", "...", [2]string{"code", "200"}).
+func (r *Registry) CounterWith(name, help string, labels ...[2]string) Counter {
+	f := r.family(name, help, "counter")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Counter{f.child(labels)}
+}
+
+// Inc adds one.
+func (c Counter) Inc() { c.Add(1) }
+
+// Add increases the counter; negative deltas are ignored to keep the
+// instrument monotone.
+func (c Counter) Add(delta float64) {
+	if delta < 0 {
+		return
+	}
+	c.c.mu.Lock()
+	c.c.value += delta
+	c.c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c Counter) Value() float64 {
+	c.c.mu.Lock()
+	defer c.c.mu.Unlock()
+	return c.c.value
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ c *child }
+
+// Gauge returns the unlabeled gauge of the family.
+func (r *Registry) Gauge(name, help string) Gauge {
+	f := r.family(name, help, "gauge")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Gauge{f.child(nil)}
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at exposition
+// time — handy for live quantities like queue depth.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, "gauge")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f.child(nil).fn = fn
+}
+
+// Set replaces the gauge value.
+func (g Gauge) Set(v float64) {
+	g.c.mu.Lock()
+	g.c.value = v
+	g.c.mu.Unlock()
+}
+
+// Add shifts the gauge value.
+func (g Gauge) Add(delta float64) {
+	g.c.mu.Lock()
+	g.c.value += delta
+	g.c.mu.Unlock()
+}
+
+// Value returns the current gauge reading.
+func (g Gauge) Value() float64 {
+	g.c.mu.Lock()
+	defer g.c.mu.Unlock()
+	if g.c.fn != nil {
+		return g.c.fn()
+	}
+	return g.c.value
+}
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct{ c *child }
+
+// DefBuckets is the default latency bucket layout in seconds, spanning
+// sub-millisecond cache hits to multi-second cold solves.
+var DefBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+// Histogram returns the unlabeled histogram of the family with the given
+// ascending upper bounds (nil means DefBuckets). Bounds are fixed at
+// first registration.
+func (r *Registry) Histogram(name, help string, bounds []float64) Histogram {
+	f := r.family(name, help, "histogram")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := f.child(nil)
+	if c.counts == nil {
+		if bounds == nil {
+			bounds = DefBuckets
+		}
+		if !sort.Float64sAreSorted(bounds) {
+			panic(fmt.Sprintf("metrics: %s: histogram bounds not ascending", name))
+		}
+		c.bounds = append([]float64(nil), bounds...)
+		c.counts = make([]uint64, len(bounds)+1)
+	}
+	return Histogram{c}
+}
+
+// Observe records one sample.
+func (h Histogram) Observe(v float64) {
+	h.c.mu.Lock()
+	defer h.c.mu.Unlock()
+	i := sort.SearchFloat64s(h.c.bounds, v)
+	h.c.counts[i]++
+	h.c.sum += v
+	h.c.count++
+}
+
+// Count returns the number of observations so far.
+func (h Histogram) Count() uint64 {
+	h.c.mu.Lock()
+	defer h.c.mu.Unlock()
+	return h.c.count
+}
+
+// WriteText renders every registered family in Prometheus text format,
+// families sorted by name and children by label string.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		r.mu.Lock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		kids := make([]*child, len(keys))
+		for i, k := range keys {
+			kids[i] = f.children[k]
+		}
+		r.mu.Unlock()
+		for _, c := range kids {
+			if err := c.writeText(w, f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (c *child) writeText(w io.Writer, f *family) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch f.kind {
+	case "histogram":
+		cum := uint64(0)
+		for i, b := range c.bounds {
+			cum += c.counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", f.name, formatFloat(b), cum); err != nil {
+				return err
+			}
+		}
+		cum += c.counts[len(c.bounds)]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", f.name, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n", f.name, formatFloat(c.sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count %d\n", f.name, c.count)
+		return err
+	default:
+		v := c.value
+		if c.fn != nil {
+			v = c.fn()
+		}
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, c.labels, formatFloat(v))
+		return err
+	}
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPromTextOutput(t *testing.T) {
+	r := NewRegistry()
+	ok := r.CounterWith("svc_requests_total", "Requests served.", [2]string{"code", "200"})
+	bad := r.CounterWith("svc_requests_total", "Requests served.", [2]string{"code", "500"})
+	ok.Add(3)
+	bad.Inc()
+	g := r.Gauge("svc_queue_depth", "Jobs waiting.")
+	g.Set(2)
+	g.Add(1)
+	r.GaugeFunc("svc_cache_entries", "Entries resident.", func() float64 { return 7 })
+	h := r.Histogram("svc_latency_seconds", "Request latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP svc_cache_entries Entries resident.
+# TYPE svc_cache_entries gauge
+svc_cache_entries 7
+# HELP svc_latency_seconds Request latency.
+# TYPE svc_latency_seconds histogram
+svc_latency_seconds_bucket{le="0.1"} 1
+svc_latency_seconds_bucket{le="1"} 2
+svc_latency_seconds_bucket{le="+Inf"} 3
+svc_latency_seconds_sum 5.55
+svc_latency_seconds_count 3
+# HELP svc_queue_depth Jobs waiting.
+# TYPE svc_queue_depth gauge
+svc_queue_depth 3
+# HELP svc_requests_total Requests served.
+# TYPE svc_requests_total counter
+svc_requests_total{code="200"} 3
+svc_requests_total{code="500"} 1
+`
+	if got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPromCounterMonotone(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mono_total", "")
+	c.Add(2)
+	c.Add(-5) // ignored
+	if c.Value() != 2 {
+		t.Errorf("counter accepted negative delta: %g", c.Value())
+	}
+}
+
+func TestPromSameChildShared(t *testing.T) {
+	r := NewRegistry()
+	a := r.CounterWith("shared_total", "", [2]string{"k", "v"})
+	b := r.CounterWith("shared_total", "", [2]string{"k", "v"})
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 {
+		t.Errorf("same-label children not shared: %g", a.Value())
+	}
+}
+
+func TestPromConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("conc_seconds", "", nil)
+	c := r.Counter("conc_total", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(i) / 10)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %g, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestPromKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("kind_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("kind_total", "")
+}

@@ -1,0 +1,155 @@
+package problems
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Spec is the wire form of a solve request's problem: either a seeded
+// generator reference (family + scale + case) or an explicit instance in
+// the problemFile schema of serialize.go. Exactly one of the two modes
+// must be populated.
+//
+// Specs have a canonical byte encoding (Canonical) so that semantically
+// identical requests hash to the same content address — the serving
+// layer keys its result cache on that hash.
+type Spec struct {
+	// Family/Scale/Case reference one seeded benchmark-generator
+	// instance, e.g. {"family":"FLP","scale":2,"case":0}.
+	Family string `json:"family,omitempty"`
+	Scale  int    `json:"scale,omitempty"`
+	Case   int    `json:"case,omitempty"`
+
+	// Problem carries an explicit instance (objective + constraints) in
+	// the JSON schema of ToJSON/FromJSON.
+	Problem json.RawMessage `json:"problem,omitempty"`
+}
+
+// MaxSpecCase bounds the generator case index a spec may request,
+// purely as a defensive limit for network-facing parsers.
+const MaxSpecCase = 1 << 20
+
+// ParseSpec decodes and validates a spec. Unknown fields are rejected so
+// that typos ("familly") fail loudly instead of silently selecting the
+// default instance.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("problems: spec: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("problems: spec: trailing data after JSON object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// KnownFamily reports whether f is one of the five benchmark families.
+func KnownFamily(f string) bool {
+	for _, k := range Families {
+		if k == f {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the spec's internal consistency without building the
+// instance (explicit problems are fully validated by Build).
+func (s *Spec) Validate() error {
+	hasGen := s.Family != "" || s.Scale != 0 || s.Case != 0
+	hasInline := len(s.Problem) > 0
+	switch {
+	case hasGen && hasInline:
+		return fmt.Errorf("problems: spec: family/scale/case and an explicit problem are mutually exclusive")
+	case !hasGen && !hasInline:
+		return fmt.Errorf("problems: spec: empty — set family/scale/case or an explicit problem")
+	case hasInline:
+		return nil
+	}
+	if !KnownFamily(s.Family) {
+		return fmt.Errorf("problems: spec: unknown family %q (known: FLP, KPP, JSP, SCP, GCP)", s.Family)
+	}
+	if s.Scale < 1 || s.Scale > 4 {
+		return fmt.Errorf("problems: spec: scale %d out of range [1,4]", s.Scale)
+	}
+	if s.Case < 0 || s.Case > MaxSpecCase {
+		return fmt.Errorf("problems: spec: case %d out of range [0,%d]", s.Case, MaxSpecCase)
+	}
+	return nil
+}
+
+// canonicalSpec fixes the field order and shape of the canonical
+// encoding. Generator specs always spell out all three coordinates;
+// explicit problems are themselves re-canonicalized through
+// FromJSON → ToJSON so coefficient formatting and field order cannot
+// perturb the hash.
+type canonicalSpec struct {
+	Kind    string          `json:"kind"` // "generator" | "instance"
+	Family  string          `json:"family,omitempty"`
+	Scale   int             `json:"scale,omitempty"`
+	Case    int             `json:"case"`
+	Problem json.RawMessage `json:"problem,omitempty"`
+}
+
+// Canonical returns the canonical byte encoding of the spec: compact
+// JSON with a fixed field order, identical for every wire form that
+// denotes the same instance. It validates the spec (including an
+// explicit problem payload) as a side effect.
+func (s *Spec) Canonical() ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	c := canonicalSpec{Kind: "generator", Family: s.Family, Scale: s.Scale, Case: s.Case}
+	if len(s.Problem) > 0 {
+		p, err := FromJSON(s.Problem)
+		if err != nil {
+			return nil, err
+		}
+		normalized, err := ToJSON(p)
+		if err != nil {
+			return nil, err
+		}
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, normalized); err != nil {
+			return nil, fmt.Errorf("problems: spec: %w", err)
+		}
+		c = canonicalSpec{Kind: "instance", Problem: compact.Bytes()}
+	}
+	return json.Marshal(c)
+}
+
+// Hash returns the content address of the spec: the hex SHA-256 of its
+// canonical encoding.
+func (s *Spec) Hash() (string, error) {
+	data, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Build materializes the instance the spec denotes.
+func (s *Spec) Build() (*Problem, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(s.Problem) > 0 {
+		return FromJSON(s.Problem)
+	}
+	return Benchmark{Family: s.Family, Scale: s.Scale}.Generate(s.Case), nil
+}
+
+// SpecFor returns the generator spec of one benchmark case, the inverse
+// of Build for generator-mode specs.
+func SpecFor(b Benchmark, caseIdx int) *Spec {
+	return &Spec{Family: b.Family, Scale: b.Scale, Case: caseIdx}
+}

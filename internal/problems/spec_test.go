@@ -1,0 +1,189 @@
+package problems
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestSpecGoldenGenerator pins the canonical encoding of every cell of
+// the 5-family × 4-scale suite. These strings are the cache-key inputs
+// of the serving layer: changing them invalidates every deployed cache,
+// so a change here must be deliberate.
+func TestSpecGoldenGenerator(t *testing.T) {
+	for _, b := range Suite() {
+		spec := SpecFor(b, 0)
+		got, err := spec.Canonical()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Label(), err)
+		}
+		want := fmt.Sprintf(`{"kind":"generator","family":"%s","scale":%d,"case":0}`, b.Family, b.Scale)
+		if string(got) != want {
+			t.Errorf("%s: canonical = %s, want %s", b.Label(), got, want)
+		}
+	}
+}
+
+// TestSpecRoundTripAllCells round-trips every family × scale through
+// wire JSON → ParseSpec → Canonical → ParseSpec → Build and checks the
+// built instance matches the generator's.
+func TestSpecRoundTripAllCells(t *testing.T) {
+	for _, b := range Suite() {
+		wire := fmt.Sprintf(`{"case":1,"scale":%d,"family":%q}`, b.Scale, b.Family)
+		spec, err := ParseSpec([]byte(wire))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", b.Label(), err)
+		}
+		canon, err := spec.Canonical()
+		if err != nil {
+			t.Fatalf("%s: canonical: %v", b.Label(), err)
+		}
+		h1, err := spec.Hash()
+		if err != nil {
+			t.Fatalf("%s: hash: %v", b.Label(), err)
+		}
+		// The canonical form must parse back to an equivalent spec... the
+		// canonical encoding carries a "kind" discriminator, so it is not
+		// itself wire-form; rebuild from the fields instead.
+		spec2 := SpecFor(b, 1)
+		canon2, err := spec2.Canonical()
+		if err != nil {
+			t.Fatalf("%s: canonical2: %v", b.Label(), err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Errorf("%s: canonical not stable: %s vs %s", b.Label(), canon, canon2)
+		}
+		h2, _ := spec2.Hash()
+		if h1 != h2 {
+			t.Errorf("%s: hash not stable: %s vs %s", b.Label(), h1, h2)
+		}
+		p, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%s: build: %v", b.Label(), err)
+		}
+		ref := b.Generate(1)
+		if p.Name != ref.Name || p.N != ref.N || p.NumConstraints() != ref.NumConstraints() {
+			t.Errorf("%s: built %s (%d vars, %d constraints), want %s (%d, %d)",
+				b.Label(), p.Name, p.N, p.NumConstraints(), ref.Name, ref.N, ref.NumConstraints())
+		}
+	}
+}
+
+// TestSpecInlineRoundTrip feeds one explicit instance per family through
+// the inline-problem mode and checks the canonical form is insensitive
+// to JSON formatting of the payload.
+func TestSpecInlineRoundTrip(t *testing.T) {
+	for _, family := range Families {
+		b := Benchmark{Family: family, Scale: 1}
+		orig := b.Generate(0)
+		data, err := ToJSON(orig)
+		if err != nil {
+			t.Fatalf("%s: ToJSON: %v", family, err)
+		}
+		spec := &Spec{Problem: data}
+		canon, err := spec.Canonical()
+		if err != nil {
+			t.Fatalf("%s: canonical: %v", family, err)
+		}
+		// Reformatting the payload must not change the canonical bytes.
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, data); err != nil {
+			t.Fatal(err)
+		}
+		canonCompact, err := (&Spec{Problem: compact.Bytes()}).Canonical()
+		if err != nil {
+			t.Fatalf("%s: canonical(compact): %v", family, err)
+		}
+		if !bytes.Equal(canon, canonCompact) {
+			t.Errorf("%s: canonical depends on payload formatting", family)
+		}
+		p, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%s: build: %v", family, err)
+		}
+		if p.Name != orig.Name || p.N != orig.N {
+			t.Errorf("%s: inline round-trip built %s/%d, want %s/%d", family, p.Name, p.N, orig.Name, orig.N)
+		}
+		if p.Objective(p.Init) != orig.Objective(orig.Init) {
+			t.Errorf("%s: objective at seed differs after round trip", family)
+		}
+	}
+}
+
+// TestSpecHashDistinguishes checks distinct instances get distinct
+// content addresses.
+func TestSpecHashDistinguishes(t *testing.T) {
+	seen := map[string]string{}
+	for _, b := range Suite() {
+		for c := 0; c < 2; c++ {
+			h, err := SpecFor(b, c).Hash()
+			if err != nil {
+				t.Fatal(err)
+			}
+			id := fmt.Sprintf("%s/case%d", b.Label(), c)
+			if prev, dup := seen[h]; dup {
+				t.Errorf("hash collision: %s and %s", prev, id)
+			}
+			seen[h] = id
+		}
+	}
+}
+
+func TestSpecRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error
+	}{
+		{"empty object", `{}`, "empty"},
+		{"not json", `family=FLP`, "spec"},
+		{"trailing data", `{"family":"FLP","scale":1} {"x":1}`, "trailing"},
+		{"unknown field", `{"family":"FLP","scale":1,"familly":"FLP"}`, "unknown field"},
+		{"unknown family", `{"family":"XLP","scale":1}`, "unknown family"},
+		{"lowercase family", `{"family":"flp","scale":1}`, "unknown family"},
+		{"scale zero", `{"family":"FLP","scale":0}`, "scale 0 out of range"},
+		{"scale five", `{"family":"FLP","scale":5}`, "scale 5 out of range"},
+		{"negative case", `{"family":"FLP","scale":1,"case":-1}`, "case -1 out of range"},
+		{"huge case", `{"family":"FLP","scale":1,"case":99999999}`, "out of range"},
+		{"both modes", `{"family":"FLP","scale":1,"problem":{"version":1}}`, "mutually exclusive"},
+		{"family without scale", `{"family":"FLP"}`, "scale 0 out of range"},
+		{"scale without family", `{"scale":2}`, "unknown family"},
+		{"bad inline problem", `{"problem":{"version":1,"num_vars":-3}}`, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, err := ParseSpec([]byte(tc.in))
+			if err == nil {
+				// Inline payloads are validated at Canonical/Build time.
+				_, err = spec.Canonical()
+			}
+			if err == nil {
+				t.Fatalf("ParseSpec(%s) accepted malformed spec", tc.in)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestSpecBuildMatchesByLabel cross-checks the spec path against the
+// label path the CLIs use.
+func TestSpecBuildMatchesByLabel(t *testing.T) {
+	b, err := ByLabel("K3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := SpecFor(b, 2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := b.Generate(2)
+	d1, _ := ToJSON(p1)
+	d2, _ := ToJSON(p2)
+	if !bytes.Equal(d1, d2) {
+		t.Error("spec build differs from label build for K3/case2")
+	}
+}

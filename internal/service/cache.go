@@ -1,0 +1,92 @@
+// Package service is the long-running solve service of the repository: a
+// bounded job queue feeding the Rasengan pipeline, a content-addressed
+// result cache, and an HTTP/JSON API (see Server) that cmd/rasengan-serve
+// exposes. Requests are keyed by the canonical problem-spec hash plus the
+// canonical solver-config fingerprint, and results are deterministic
+// byte-for-byte — a cache hit returns exactly the bytes a fresh solve
+// would produce.
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a fixed-capacity, content-addressed LRU over marshaled
+// result payloads. Keys are "<spec-hash>/<config-fingerprint>" strings;
+// values are immutable byte slices served verbatim to clients (callers
+// must not mutate them after Put).
+type lruCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used
+	entries  map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type lruEntry struct {
+	key   string
+	value []byte
+}
+
+// newLRUCache returns a cache holding at most capacity entries;
+// capacity < 1 disables caching (every lookup misses, Put is a no-op).
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  map[string]*list.Element{},
+	}
+}
+
+// Get returns the cached payload and whether it was present, promoting
+// the entry to most-recently-used on a hit.
+func (c *lruCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).value, true
+}
+
+// Put inserts or refreshes an entry, evicting the least recently used
+// entry when over capacity.
+func (c *lruCache) Put(key string, value []byte) {
+	if c.capacity < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).value = value
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, value: value})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry).key)
+		c.evictions++
+	}
+}
+
+// Len returns the number of resident entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns cumulative hit/miss/eviction counts.
+func (c *lruCache) Stats() (hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}

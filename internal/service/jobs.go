@@ -1,0 +1,189 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"rasengan/internal/core"
+	"rasengan/internal/problems"
+)
+
+// Status is the lifecycle state of a job.
+type Status string
+
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// job is one accepted solve. Its result bytes are the deterministic
+// payload of result.go; the same key always yields the same bytes.
+type job struct {
+	id  string
+	key string // spec hash + config fingerprint (cache key)
+
+	problem *problems.Problem
+	opts    core.Options
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	status   Status
+	result   []byte
+	errMsg   string
+	cached   bool
+	accepted time.Time
+
+	done chan struct{}
+}
+
+func (j *job) snapshot() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobView{
+		ID:     j.id,
+		Status: j.status,
+		Cached: j.cached,
+		Error:  j.errMsg,
+		Result: j.result,
+	}
+}
+
+func (j *job) setRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusRunning
+	return true
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *job) finish(status Status, result []byte, errMsg string) {
+	j.mu.Lock()
+	if j.status == StatusDone || j.status == StatusFailed || j.status == StatusCanceled {
+		j.mu.Unlock()
+		return
+	}
+	j.status = status
+	j.result = result
+	j.errMsg = errMsg
+	j.mu.Unlock()
+	j.cancel()
+	close(j.done)
+}
+
+// jobView is the externally visible snapshot of a job.
+type jobView struct {
+	ID     string `json:"job_id"`
+	Status Status `json:"status"`
+	Cached bool   `json:"cached"`
+	Error  string `json:"error,omitempty"`
+	Result []byte `json:"-"`
+}
+
+// jobStore tracks jobs by id, deduplicates in-flight work by content
+// address (single-flight), and bounds how many terminal jobs it retains.
+type jobStore struct {
+	mu        sync.Mutex
+	seq       uint64
+	byID      map[string]*job
+	inflight  map[string]*job // key → queued/running job
+	retained  []string        // terminal job ids in completion order
+	retention int
+}
+
+func newJobStore(retention int) *jobStore {
+	if retention < 1 {
+		retention = 1
+	}
+	return &jobStore{
+		byID:      map[string]*job{},
+		inflight:  map[string]*job{},
+		retention: retention,
+	}
+}
+
+// create registers a new job for key, or returns the already in-flight
+// job carrying the same key (joined == true).
+func (s *jobStore) create(base context.Context, key string, p *problems.Problem, opts core.Options, deadline time.Duration) (j *job, joined bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.inflight[key]; ok {
+		return existing, true
+	}
+	s.seq++
+	ctx, cancel := context.WithTimeout(base, deadline)
+	j = &job{
+		id:       fmt.Sprintf("job-%08d", s.seq),
+		key:      key,
+		problem:  p,
+		opts:     opts,
+		ctx:      ctx,
+		cancel:   cancel,
+		status:   StatusQueued,
+		accepted: time.Now(),
+		done:     make(chan struct{}),
+	}
+	s.byID[j.id] = j
+	s.inflight[key] = j
+	return j, false
+}
+
+// createDone registers an already-terminal job (cache hits get a job id
+// too, so GET /v1/jobs is uniform).
+func (s *jobStore) createDone(result []byte, cached bool) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	j := &job{
+		id:     fmt.Sprintf("job-%08d", s.seq),
+		ctx:    ctx,
+		cancel: cancel,
+		status: StatusDone,
+		result: result,
+		cached: cached,
+		done:   make(chan struct{}),
+	}
+	close(j.done)
+	s.byID[j.id] = j
+	s.retain(j.id)
+	return j
+}
+
+// settle removes the job from the in-flight index once terminal and
+// applies the retention bound.
+func (s *jobStore) settle(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	s.retain(j.id)
+}
+
+// retain must be called with s.mu held.
+func (s *jobStore) retain(id string) {
+	s.retained = append(s.retained, id)
+	for len(s.retained) > s.retention {
+		drop := s.retained[0]
+		s.retained = s.retained[1:]
+		delete(s.byID, drop)
+	}
+}
+
+func (s *jobStore) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[id]
+	return j, ok
+}

@@ -1,0 +1,107 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Queue errors surfaced to the HTTP layer.
+var (
+	// ErrQueueFull is returned when the bounded queue has no free slot;
+	// the API maps it to 429 Too Many Requests (backpressure).
+	ErrQueueFull = errors.New("service: queue full")
+	// ErrDraining is returned once graceful shutdown has begun; the API
+	// maps it to 503 Service Unavailable.
+	ErrDraining = errors.New("service: draining")
+)
+
+// jobQueue is a bounded FIFO of accepted jobs with a fixed set of
+// executor goroutines. Accepting a job is a promise: once Submit
+// succeeds the job reaches a terminal state even if the service drains —
+// Drain stops intake, then waits for every accepted job to settle.
+type jobQueue struct {
+	ch      chan *job
+	run     func(*job)
+	mu      sync.Mutex
+	drain   bool
+	pending sync.WaitGroup // accepted but not yet terminal
+	workers sync.WaitGroup
+}
+
+// newJobQueue starts `executors` worker goroutines consuming a queue of
+// the given capacity. run must move the job to a terminal state.
+func newJobQueue(capacity, executors int, run func(*job)) *jobQueue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if executors < 1 {
+		executors = 1
+	}
+	q := &jobQueue{ch: make(chan *job, capacity), run: run}
+	q.workers.Add(executors)
+	for i := 0; i < executors; i++ {
+		go func() {
+			defer q.workers.Done()
+			for j := range q.ch {
+				q.run(j)
+				q.pending.Done()
+			}
+		}()
+	}
+	return q
+}
+
+// Submit enqueues without blocking. A full queue is backpressure, not an
+// error state — the caller converts it to 429 and the client retries.
+func (q *jobQueue) Submit(j *job) error {
+	q.mu.Lock()
+	if q.drain {
+		q.mu.Unlock()
+		return ErrDraining
+	}
+	// Reserve the pending slot before the send so Drain cannot observe a
+	// moment where the job is in the channel but untracked.
+	q.pending.Add(1)
+	select {
+	case q.ch <- j:
+		q.mu.Unlock()
+		return nil
+	default:
+		q.pending.Done()
+		q.mu.Unlock()
+		return ErrQueueFull
+	}
+}
+
+// Depth returns how many accepted jobs are waiting for an executor.
+func (q *jobQueue) Depth() int { return len(q.ch) }
+
+// Capacity returns the queue's slot count.
+func (q *jobQueue) Capacity() int { return cap(q.ch) }
+
+// Drain stops intake and waits until every accepted job has settled (or
+// ctx expires). It is idempotent; the first call closes the channel once
+// the pending set is empty, stopping the executors.
+func (q *jobQueue) Drain(ctx context.Context) error {
+	q.mu.Lock()
+	first := !q.drain
+	q.drain = true
+	q.mu.Unlock()
+
+	settled := make(chan struct{})
+	go func() {
+		q.pending.Wait()
+		if first {
+			close(q.ch)
+			q.workers.Wait()
+		}
+		close(settled)
+	}()
+	select {
+	case <-settled:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,505 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"rasengan/internal/core"
+	"rasengan/internal/device"
+	"rasengan/internal/metrics"
+	"rasengan/internal/problems"
+)
+
+// SolveFunc runs one solve. The default implementation calls core.Solve;
+// tests substitute a stub to control timing and results.
+type SolveFunc func(ctx context.Context, p *problems.Problem, opts core.Options) (*core.Result, error)
+
+// Config sizes the service. Zero values select the documented defaults.
+type Config struct {
+	// QueueCapacity bounds how many accepted jobs may wait for an
+	// executor (default 64). A full queue answers 429.
+	QueueCapacity int
+	// Executors is how many jobs run concurrently (default 2). Each
+	// executing solve additionally fans its inner loops across the shared
+	// internal/parallel pool, so this bounds jobs, not cores.
+	Executors int
+	// CacheEntries bounds the result cache (default 256); 0 keeps the
+	// default, negative disables caching.
+	CacheEntries int
+	// DefaultTimeout caps a job's time from acceptance to completion
+	// when the request does not set timeout_ms (default 60s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-request timeout_ms (default 5m).
+	MaxTimeout time.Duration
+	// MaxIter caps the per-request optimizer iteration budget
+	// (default 300).
+	MaxIter int
+	// MaxVars rejects problems wider than this many variables
+	// (default 40 — sparse-simulator-friendly; raise for bigger
+	// deployments).
+	MaxVars int
+	// JobRetention bounds how many terminal jobs stay queryable via
+	// GET /v1/jobs (default 1024).
+	JobRetention int
+	// Solve substitutes the solver implementation (tests only).
+	Solve SolveFunc
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCapacity == 0 {
+		c.QueueCapacity = 64
+	}
+	if c.Executors == 0 {
+		c.Executors = 2
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 300
+	}
+	if c.MaxVars == 0 {
+		c.MaxVars = 40
+	}
+	if c.JobRetention == 0 {
+		c.JobRetention = 1024
+	}
+	if c.Solve == nil {
+		c.Solve = func(_ context.Context, p *problems.Problem, opts core.Options) (*core.Result, error) {
+			return core.Solve(p, opts)
+		}
+	}
+	return c
+}
+
+// Server is the solve service: HTTP handlers over a bounded job queue, a
+// content-addressed result cache, and Prometheus-text metrics.
+type Server struct {
+	cfg   Config
+	reg   *metrics.Registry
+	cache *lruCache
+	jobs  *jobStore
+	queue *jobQueue
+
+	problemsJSON []byte // precomputed GET /v1/problems body
+
+	reqDuration   metrics.Histogram
+	solveDuration metrics.Histogram
+	cacheHits     metrics.Counter
+	cacheMisses   metrics.Counter
+	jobsSubmitted metrics.Counter
+	jobsCompleted metrics.Counter
+	jobsFailed    metrics.Counter
+	jobsCanceled  metrics.Counter
+	jobsCoalesced metrics.Counter
+	rejectedFull  metrics.Counter
+	rejectedDrain metrics.Counter
+	inflight      metrics.Gauge
+}
+
+// New builds a server and starts its executor goroutines. Call Drain to
+// stop accepting work and wait for accepted jobs.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		reg:   metrics.NewRegistry(),
+		cache: newLRUCache(cfg.CacheEntries),
+		jobs:  newJobStore(cfg.JobRetention),
+	}
+	s.queue = newJobQueue(cfg.QueueCapacity, cfg.Executors, s.runJob)
+	s.problemsJSON = buildProblemsListing()
+
+	r := s.reg
+	s.reqDuration = r.Histogram("rasengan_http_request_duration_seconds", "HTTP request latency.", nil)
+	s.solveDuration = r.Histogram("rasengan_solve_duration_seconds", "Executor time per job.", nil)
+	s.cacheHits = r.Counter("rasengan_cache_hits_total", "Solve requests answered from the result cache.")
+	s.cacheMisses = r.Counter("rasengan_cache_misses_total", "Solve requests that required computation.")
+	s.jobsSubmitted = r.Counter("rasengan_jobs_submitted_total", "Jobs accepted into the queue.")
+	s.jobsCompleted = r.Counter("rasengan_jobs_completed_total", "Jobs finished successfully.")
+	s.jobsFailed = r.Counter("rasengan_jobs_failed_total", "Jobs that errored or timed out.")
+	s.jobsCanceled = r.Counter("rasengan_jobs_canceled_total", "Jobs canceled by the client.")
+	s.jobsCoalesced = r.Counter("rasengan_jobs_coalesced_total", "Requests joined onto an identical in-flight job.")
+	s.rejectedFull = r.Counter("rasengan_jobs_rejected_queue_full_total", "Submissions rejected with 429 (queue full).")
+	s.rejectedDrain = r.Counter("rasengan_jobs_rejected_draining_total", "Submissions rejected with 503 (draining).")
+	s.inflight = r.Gauge("rasengan_jobs_inflight", "Jobs queued or running.")
+	r.GaugeFunc("rasengan_queue_depth", "Accepted jobs waiting for an executor.", func() float64 {
+		return float64(s.queue.Depth())
+	})
+	r.GaugeFunc("rasengan_queue_capacity", "Queue slot count.", func() float64 {
+		return float64(s.queue.Capacity())
+	})
+	r.GaugeFunc("rasengan_cache_entries", "Result-cache entries resident.", func() float64 {
+		return float64(s.cache.Len())
+	})
+	r.GaugeFunc("rasengan_cache_evictions_total", "Result-cache LRU evictions.", func() float64 {
+		_, _, ev := s.cache.Stats()
+		return float64(ev)
+	})
+	return s
+}
+
+// Metrics exposes the registry (the binary shares it for build info).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Drain stops intake (new solves get 503) and blocks until every
+// accepted job has reached a terminal state or ctx expires.
+func (s *Server) Drain(ctx context.Context) error { return s.queue.Drain(ctx) }
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.instrument("solve", s.handleSolve))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("job", s.handleJob))
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.instrument("cancel", s.handleCancel))
+	mux.HandleFunc("GET /v1/problems", s.instrument("problems", s.handleProblems))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.reqDuration.Observe(time.Since(start).Seconds())
+		s.reg.CounterWith("rasengan_http_requests_total", "HTTP requests by route and status.",
+			[2]string{"route", route}, [2]string{"code", fmt.Sprintf("%d", rec.code)}).Inc()
+	}
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// --- request/response shapes ---
+
+// solveRequest is the body of POST /v1/solve.
+type solveRequest struct {
+	// Spec selects the problem (see problems.Spec).
+	Spec json.RawMessage `json:"spec"`
+	// Config tunes the solver; zero values mean defaults.
+	Config solveConfig `json:"config"`
+	// WaitMS, when positive, holds the request open up to that many
+	// milliseconds for the result, enabling one-round-trip solves.
+	WaitMS int `json:"wait_ms,omitempty"`
+	// TimeoutMS overrides the job deadline (capped by the server's
+	// MaxTimeout).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// solveConfig is the client-facing subset of the solver knobs. It maps
+// onto core.Options; everything not exposed here stays at the pipeline
+// default.
+type solveConfig struct {
+	Seed          int64  `json:"seed,omitempty"`
+	MaxIter       int    `json:"max_iter,omitempty"`
+	Shots         int    `json:"shots,omitempty"`
+	Device        string `json:"device,omitempty"`
+	SparsestFirst bool   `json:"sparsest_first,omitempty"`
+}
+
+func (s *Server) buildOptions(c solveConfig) (core.Options, error) {
+	var opts core.Options
+	opts.Seed = c.Seed
+	if c.MaxIter < 0 || c.MaxIter > s.cfg.MaxIter {
+		return opts, fmt.Errorf("max_iter %d out of range [0,%d]", c.MaxIter, s.cfg.MaxIter)
+	}
+	opts.MaxIter = c.MaxIter
+	if c.Shots < 0 || c.Shots > 1<<20 {
+		return opts, fmt.Errorf("shots %d out of range [0,%d]", c.Shots, 1<<20)
+	}
+	opts.Exec.Shots = c.Shots
+	opts.Schedule.SparsestFirst = c.SparsestFirst
+	if c.Device != "" {
+		dev, err := device.ByName(c.Device)
+		if err != nil {
+			return opts, err
+		}
+		opts.Exec.Device = dev
+		if opts.Exec.Shots == 0 {
+			opts.Exec.Shots = 1024
+		}
+	}
+	return opts, nil
+}
+
+// solveResponse is the envelope of POST /v1/solve and GET /v1/jobs/{id}.
+// Result carries the cached-or-computed payload verbatim: for one cache
+// key it is byte-identical on every response that includes it.
+type solveResponse struct {
+	JobID  string          `json:"job_id"`
+	Status Status          `json:"status"`
+	Cached bool            `json:"cached"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// --- handlers ---
+
+const maxBodyBytes = 1 << 20
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req solveRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	if len(req.Spec) == 0 {
+		writeError(w, http.StatusBadRequest, "missing \"spec\"")
+		return
+	}
+	spec, err := problems.ParseSpec(req.Spec)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	specHash, err := spec.Hash()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	opts, err := s.buildOptions(req.Config)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "invalid config: %v", err)
+		return
+	}
+	key := specHash + "/" + core.OptionsFingerprint(opts)
+
+	// Cache first: identical (spec, config) requests never re-simulate.
+	if payload, ok := s.cache.Get(key); ok {
+		s.cacheHits.Inc()
+		j := s.jobs.createDone(payload, true)
+		writeJSON(w, http.StatusOK, solveResponse{JobID: j.id, Status: StatusDone, Cached: true, Result: payload})
+		return
+	}
+	s.cacheMisses.Inc()
+
+	p, err := spec.Build()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	if p.N > s.cfg.MaxVars {
+		writeError(w, http.StatusUnprocessableEntity,
+			"problem has %d variables; this server accepts at most %d", p.N, s.cfg.MaxVars)
+		return
+	}
+
+	deadline := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		deadline = time.Duration(req.TimeoutMS) * time.Millisecond
+		if deadline > s.cfg.MaxTimeout {
+			deadline = s.cfg.MaxTimeout
+		}
+	}
+
+	j, joined := s.jobs.create(context.Background(), key, p, opts, deadline)
+	if joined {
+		s.jobsCoalesced.Inc()
+	} else {
+		if err := s.queue.Submit(j); err != nil {
+			j.finish(StatusCanceled, nil, "not enqueued")
+			s.jobs.settle(j)
+			switch {
+			case errors.Is(err, ErrQueueFull):
+				s.rejectedFull.Inc()
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, "queue full (%d slots); retry later", s.queue.Capacity())
+			case errors.Is(err, ErrDraining):
+				s.rejectedDrain.Inc()
+				writeError(w, http.StatusServiceUnavailable, "server is draining")
+			default:
+				writeError(w, http.StatusInternalServerError, "%v", err)
+			}
+			return
+		}
+		s.jobsSubmitted.Inc()
+		s.inflight.Add(1)
+	}
+
+	if req.WaitMS > 0 {
+		wait := time.Duration(req.WaitMS) * time.Millisecond
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		select {
+		case <-j.done:
+		case <-timer.C:
+		case <-r.Context().Done():
+		}
+	}
+	s.respondJob(w, j)
+}
+
+func (s *Server) respondJob(w http.ResponseWriter, j *job) {
+	v := j.snapshot()
+	code := http.StatusAccepted
+	if v.Status == StatusDone || v.Status == StatusFailed || v.Status == StatusCanceled {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, solveResponse{JobID: v.ID, Status: v.Status, Cached: v.Cached, Error: v.Error, Result: v.Result})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	s.respondJob(w, j)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	j.cancel()
+	s.respondJob(w, j)
+}
+
+func (s *Server) handleProblems(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(s.problemsJSON)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"queue_depth": s.queue.Depth(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.reg.WriteText(w)
+}
+
+// runJob executes one accepted job on an executor goroutine. Every path
+// ends in a terminal state: deadline-expired jobs fail, canceled jobs
+// settle as canceled, successes land in the cache.
+func (s *Server) runJob(j *job) {
+	defer func() {
+		s.jobs.settle(j)
+		s.inflight.Add(-1)
+	}()
+	if err := j.ctx.Err(); err != nil {
+		s.finishErr(j, err)
+		return
+	}
+	if !j.setRunning() {
+		s.finishErr(j, context.Canceled)
+		return
+	}
+	start := time.Now()
+	type outcome struct {
+		res *core.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := s.cfg.Solve(j.ctx, j.problem, j.opts)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case o := <-ch:
+		s.solveDuration.Observe(time.Since(start).Seconds())
+		if o.err != nil {
+			j.finish(StatusFailed, nil, o.err.Error())
+			s.jobsFailed.Inc()
+			return
+		}
+		payload, err := marshalResult(j.problem, o.res)
+		if err != nil {
+			j.finish(StatusFailed, nil, "marshal result: "+err.Error())
+			s.jobsFailed.Inc()
+			return
+		}
+		s.cache.Put(j.key, payload)
+		j.finish(StatusDone, payload, "")
+		s.jobsCompleted.Inc()
+	case <-j.ctx.Done():
+		// The solver goroutine is left to finish in the background; its
+		// result is discarded. Solves are not preemptible mid-iteration.
+		s.solveDuration.Observe(time.Since(start).Seconds())
+		s.finishErr(j, j.ctx.Err())
+	}
+}
+
+func (s *Server) finishErr(j *job, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		j.finish(StatusFailed, nil, "deadline exceeded")
+		s.jobsFailed.Inc()
+		return
+	}
+	j.finish(StatusCanceled, nil, "canceled")
+	s.jobsCanceled.Inc()
+}
+
+// buildProblemsListing precomputes the GET /v1/problems body: every
+// generator family × scale with its instance shape (case 0).
+func buildProblemsListing() []byte {
+	type cell struct {
+		Label          string `json:"label"`
+		Family         string `json:"family"`
+		Scale          int    `json:"scale"`
+		NumVars        int    `json:"num_vars"`
+		NumConstraints int    `json:"num_constraints"`
+		Sense          string `json:"sense"`
+	}
+	var cells []cell
+	for _, b := range problems.Suite() {
+		p := b.Generate(0)
+		cells = append(cells, cell{
+			Label:          b.Label(),
+			Family:         b.Family,
+			Scale:          b.Scale,
+			NumVars:        p.N,
+			NumConstraints: p.NumConstraints(),
+			Sense:          p.Sense.String(),
+		})
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(map[string]any{"families": problems.Families, "scales": []int{1, 2, 3, 4}, "problems": cells})
+	return buf.Bytes()
+}
