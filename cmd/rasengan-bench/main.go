@@ -10,13 +10,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"rasengan/internal/experiments"
@@ -51,6 +54,11 @@ func main() {
 	if *cases < 0 || *iters < 0 || *shots < 0 || *layers < 0 || *maxDense < 0 {
 		log.Fatal("-cases, -iters, -shots, -layers, and -maxdense must be >= 0")
 	}
+	// Ctrl-C cancels the in-flight experiment cooperatively (solves stop
+	// at their next iteration boundary) instead of discarding hours of a
+	// sweep to a hard kill.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cfg := experiments.Config{
 		Cases:          *cases,
 		MaxIter:        *iters,
@@ -60,6 +68,7 @@ func main() {
 		Full:           *full,
 		MaxDenseQubits: *maxDense,
 		Workers:        workers,
+		Ctx:            ctx,
 	}
 	if *jsonDir != "" {
 		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
@@ -105,9 +114,15 @@ func main() {
 	}
 
 	for _, name := range names {
+		if ctx.Err() != nil {
+			log.Fatal("interrupted, skipping remaining experiments")
+		}
 		start := time.Now()
 		res, err := runners[name]()
 		if err != nil {
+			if ctx.Err() != nil {
+				log.Fatalf("%s: interrupted", name)
+			}
 			log.Fatalf("%s: %v", name, err)
 		}
 		fmt.Printf("==== %s (ran in %.1fs) ====\n\n", name, time.Since(start).Seconds())

@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"rasengan"
 	"rasengan/internal/core"
@@ -46,6 +49,17 @@ func main() {
 		log.Fatalf("-case must be >= 0 (got %d)", *caseIdx)
 	}
 
+	// The pipeline stages below (basis search, coverage BFS) can take a
+	// while on wide instances; Ctrl-C stops between stages rather than
+	// leaving a half-printed dump ambiguous.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	checkpoint := func(stage string) {
+		if ctx.Err() != nil {
+			log.Fatalf("interrupted before %s", stage)
+		}
+	}
+
 	b, err := problems.ByLabel(*bench)
 	if err != nil {
 		log.Fatal(err)
@@ -59,6 +73,7 @@ func main() {
 	fmt.Printf("constraint topology: avg degree %.2f, max degree %d, max row span %d, %d component(s)\n\n",
 		topo.AverageDegree, topo.MaxDegree, topo.MaxRowSpan, topo.Components)
 
+	checkpoint("basis construction")
 	basis, err := core.BuildBasis(p, core.BasisOptions{})
 	if err != nil {
 		log.Fatal(err)
@@ -79,6 +94,7 @@ func main() {
 		fmt.Printf("  u%-2d nnz=%-2d %v\n", i+1, core.NonZero(u), u)
 	}
 
+	checkpoint("schedule construction")
 	sched := core.BuildSchedule(p, basis, core.ScheduleOptions{})
 	fmt.Printf("\nschedule: %d operators kept of %d scheduled (%d pruned, early stop %v)\n",
 		len(sched.Ops), len(sched.AllOps), sched.PrunedCount, sched.EarlyStopped)
@@ -91,6 +107,7 @@ func main() {
 		}
 	}
 
+	checkpoint("segmentation")
 	exec, err := core.NewExecutor(p, sched.Ops, core.ExecOptions{})
 	if err != nil {
 		log.Fatal(err)

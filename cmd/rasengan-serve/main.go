@@ -33,12 +33,47 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
+	"rasengan/internal/core"
 	"rasengan/internal/parallel"
 	"rasengan/internal/service"
 )
+
+// applyFaultInjection wires the RASENGAN_FAULT chaos switch, used by the
+// CI smoke test (and manual drills) to prove the service survives solver
+// failures. Modes:
+//
+//	panic-once      the first solve iteration panics; later solves run clean
+//	slow-iteration  every solve iteration sleeps ~5ms, so short deadlines fire
+//
+// Unset means no fault hook — production runs never pay for this.
+func applyFaultInjection(mode string) {
+	switch mode {
+	case "":
+	case "panic-once":
+		var once sync.Once
+		core.SetFaultHook(func(stage string) {
+			if stage == core.FaultIteration {
+				// sync.Once marks itself done even when f panics, so
+				// exactly one job is poisoned.
+				once.Do(func() { panic("RASENGAN_FAULT=panic-once injected panic") })
+			}
+		})
+		log.Print("fault injection armed: panic-once")
+	case "slow-iteration":
+		core.SetFaultHook(func(stage string) {
+			if stage == core.FaultIteration {
+				time.Sleep(5 * time.Millisecond)
+			}
+		})
+		log.Print("fault injection armed: slow-iteration")
+	default:
+		log.Fatalf("unknown RASENGAN_FAULT mode %q (known: panic-once, slow-iteration)", mode)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -72,6 +107,7 @@ func main() {
 	if *maxVars < 1 {
 		log.Fatalf("-max-vars must be >= 1 (got %d)", *maxVars)
 	}
+	applyFaultInjection(os.Getenv("RASENGAN_FAULT"))
 
 	srv := service.New(service.Config{
 		QueueCapacity:  *queueCap,
@@ -95,15 +131,16 @@ func main() {
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	select {
 	case err := <-errCh:
 		log.Fatal(err)
-	case got := <-sig:
-		log.Printf("received %s, draining (accepted jobs will finish)", got)
+	case <-sigCtx.Done():
+		log.Print("received shutdown signal, draining (accepted jobs will finish)")
 	}
+	stop() // restore default handling: a second Ctrl-C kills immediately
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()

@@ -9,11 +9,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"rasengan"
 	"rasengan/internal/device"
@@ -102,8 +106,16 @@ func main() {
 		}
 	}
 
-	res, err := rasengan.Solve(p, opts)
+	// Ctrl-C / SIGTERM stops the solve cooperatively at the next
+	// optimizer-iteration or segment boundary instead of killing the
+	// process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := rasengan.SolveContext(ctx, p, opts)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Fatal("interrupted before a result was available")
+		}
 		log.Fatal(err)
 	}
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"rasengan/internal/bitvec"
@@ -225,11 +226,11 @@ func TestVerifyCoverage(t *testing.T) {
 
 func TestSolveWarmStart(t *testing.T) {
 	p := problems.FLP(2, 2)
-	cold, err := Solve(p, Options{MaxIter: 90, Seed: 2})
+	cold, err := Solve(context.Background(), p, Options{MaxIter: 90, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := Solve(p, Options{MaxIter: 30, Seed: 2, InitialTimes: cold.Times})
+	warm, err := Solve(context.Background(), p, Options{MaxIter: 30, Seed: 2, InitialTimes: cold.Times})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +239,7 @@ func TestSolveWarmStart(t *testing.T) {
 		t.Errorf("warm start regressed: %v vs %v", warm.Expectation, cold.Expectation)
 	}
 	// Mis-sized warm start is ignored, not fatal.
-	if _, err := Solve(p, Options{MaxIter: 20, Seed: 2, InitialTimes: []float64{1}}); err != nil {
+	if _, err := Solve(context.Background(), p, Options{MaxIter: 20, Seed: 2, InitialTimes: []float64{1}}); err != nil {
 		t.Errorf("mis-sized warm start should be ignored: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -71,7 +72,7 @@ func BenchmarkSolveF1(b *testing.B) {
 	p := problems.FLP(1, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Solve(p, Options{MaxIter: 60, Seed: int64(i)}); err != nil {
+		if _, err := Solve(context.Background(), p, Options{MaxIter: 60, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -240,6 +241,15 @@ func (e *Executor) MaxSegmentDepth() int {
 // states proportionally to their probability (Figure 7), injecting device
 // noise by trajectory, and purifying between segments (Figure 8).
 func (e *Executor) Run(t []float64, rng *rand.Rand) (map[bitvec.Vec]float64, error) {
+	return e.RunCtx(context.Background(), t, rng)
+}
+
+// RunCtx is Run with cooperative cancellation: ctx is checked before every
+// segment and between the per-input-state evolutions inside a segment, so a
+// deadline frees the caller within one state's worth of work rather than a
+// full schedule. On cancellation the context's error is returned and the
+// partial distribution is discarded.
+func (e *Executor) RunCtx(ctx context.Context, t []float64, rng *rand.Rand) (map[bitvec.Vec]float64, error) {
 	if len(t) != len(e.ops) {
 		return nil, fmt.Errorf("core: %d times for %d operators", len(t), len(e.ops))
 	}
@@ -252,15 +262,18 @@ func (e *Executor) Run(t []float64, rng *rand.Rand) (map[bitvec.Vec]float64, err
 
 	dist := map[bitvec.Vec]float64{e.p.Init: 1}
 	for segIdx, seg := range e.segments {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var next map[bitvec.Vec]float64
 		var err error
 		if e.opts.Shots <= 0 && e.opts.Device == nil {
-			next = e.runSegmentExact(seg, t, dist)
+			next, err = e.runSegmentExact(ctx, seg, t, dist)
 		} else {
-			next, err = e.runSegmentSampled(segIdx, seg, t, dist, rng)
-			if err != nil {
-				return nil, err
-			}
+			next, err = e.runSegmentSampled(ctx, segIdx, seg, t, dist, rng)
+		}
+		if err != nil {
+			return nil, err
 		}
 		e.LastSegmentsRun++
 		if len(next) == 0 {
@@ -278,7 +291,7 @@ func (e *Executor) Run(t []float64, rng *rand.Rand) (map[bitvec.Vec]float64, err
 // state evolves coherently through the segment, is "measured", and its
 // outcome distribution is mixed in with the incoming weight. This is the
 // Shots → ∞ limit of the sampled path.
-func (e *Executor) runSegmentExact(seg []int, t []float64, in map[bitvec.Vec]float64) map[bitvec.Vec]float64 {
+func (e *Executor) runSegmentExact(ctx context.Context, seg []int, t []float64, in map[bitvec.Vec]float64) (map[bitvec.Vec]float64, error) {
 	// Model the hardware time this segment would take at the default shot
 	// budget, so latency accounting stays comparable across exact and
 	// sampled runs.
@@ -296,6 +309,9 @@ func (e *Executor) runSegmentExact(seg []int, t []float64, in map[bitvec.Vec]flo
 
 	out := map[bitvec.Vec]float64{}
 	for _, x := range sortedDistKeys(in) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		w := in[x]
 		st := quantum.NewSparse(x)
 		for _, i := range seg {
@@ -310,12 +326,12 @@ func (e *Executor) runSegmentExact(seg []int, t []float64, in map[bitvec.Vec]flo
 		purifyDist(out, e.p)
 	}
 	normalizeDist(out)
-	return out
+	return out, nil
 }
 
 // runSegmentSampled is the hardware-path execution: shot allocation,
 // trajectory noise, measurement, readout error, purification.
-func (e *Executor) runSegmentSampled(segIdx int, seg []int, t []float64, in map[bitvec.Vec]float64, rng *rand.Rand) (map[bitvec.Vec]float64, error) {
+func (e *Executor) runSegmentSampled(ctx context.Context, segIdx int, seg []int, t []float64, in map[bitvec.Vec]float64, rng *rand.Rand) (map[bitvec.Vec]float64, error) {
 	shots := e.opts.shotsForSegment(segIdx)
 	counts := map[bitvec.Vec]int{}
 	states := sortedDistKeys(in)
@@ -324,6 +340,9 @@ func (e *Executor) runSegmentSampled(segIdx int, seg []int, t []float64, in map[
 		noise = &e.opts.Device.Noise
 	}
 	for _, x := range states {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		nx := int(float64(shots)*in[x] + 0.5)
 		if nx == 0 {
 			continue

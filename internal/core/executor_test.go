@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -168,7 +169,7 @@ func TestSolveDistributionConcentratesOnOptimum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Solve(p, Options{MaxIter: 240, Seed: 4})
+	res, err := Solve(context.Background(), p, Options{MaxIter: 240, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+
+	"rasengan/internal/parallel"
+)
+
+// ErrSolvePanic is the sentinel every recovered solver panic matches via
+// errors.Is. The concrete error is a *SolvePanicError carrying the panic
+// message and stack, so one poisoned request fails one job with a
+// diagnosable error instead of killing the process.
+var ErrSolvePanic = errors.New("core: solver panicked")
+
+// SolvePanicError is a panic recovered at the Solve boundary (or from a
+// parallel pool task underneath it), converted into a structured error.
+type SolvePanicError struct {
+	Value string // rendered panic value
+	Stack string // stack of the panicking goroutine
+}
+
+func (e *SolvePanicError) Error() string {
+	return fmt.Sprintf("core: solver panic: %s", e.Value)
+}
+
+// Unwrap makes errors.Is(err, ErrSolvePanic) true for every recovered
+// panic.
+func (e *SolvePanicError) Unwrap() error { return ErrSolvePanic }
+
+// NewSolvePanicError converts a recovered panic value into a
+// *SolvePanicError. Panics that crossed the worker pool arrive as
+// *parallel.PanicError and keep the stack of the worker that raised
+// them; anything else gets the recovering goroutine's stack.
+func NewSolvePanicError(v any) *SolvePanicError {
+	if pe, ok := v.(*parallel.PanicError); ok {
+		return &SolvePanicError{Value: fmt.Sprint(pe.Value), Stack: string(pe.Stack)}
+	}
+	return &SolvePanicError{Value: fmt.Sprint(v), Stack: string(debug.Stack())}
+}
+
+// Fault-injection stages passed to the hook installed by SetFaultHook.
+const (
+	// FaultCompile fires once per solve, after basis/schedule compilation.
+	FaultCompile = "compile"
+	// FaultIteration fires on every objective evaluation of the
+	// variational loop — the natural place to inject a panic or a slow
+	// iteration.
+	FaultIteration = "iteration"
+)
+
+// faultHook holds a func(stage string) injected by tests (and by the
+// RASENGAN_FAULT chaos switch of cmd/rasengan-serve). nil Value = no-op.
+var faultHook atomic.Value
+
+// SetFaultHook installs fn to be called at the fault stages above; nil
+// removes it. It exists for fault-injection tests and chaos drills —
+// production code must never set it.
+func SetFaultHook(fn func(stage string)) {
+	if fn == nil {
+		faultHook.Store((func(string))(nil))
+		return
+	}
+	faultHook.Store(fn)
+}
+
+// fault invokes the installed hook, if any.
+func fault(stage string) {
+	if fn, _ := faultHook.Load().(func(string)); fn != nil {
+		fn(stage)
+	}
+}

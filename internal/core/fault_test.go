@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rasengan/internal/problems"
+)
+
+// installHook sets a fault hook for the test and guarantees removal even
+// on failure, so hooks never leak across tests in the package.
+func installHook(t *testing.T, fn func(stage string)) {
+	t.Helper()
+	SetFaultHook(fn)
+	t.Cleanup(func() { SetFaultHook(nil) })
+}
+
+func TestSolveCancelledContextReturnsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := problems.FLP(1, 0)
+	start := time.Now()
+	res, err := Solve(ctx, p, Options{MaxIter: 200, Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Error("cancelled solve returned a non-nil result")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancelled solve took %v; should exit near-immediately", elapsed)
+	}
+}
+
+func TestSolveDeadlineStopsSlowIterations(t *testing.T) {
+	// Slow every objective evaluation down so a 50ms deadline fires
+	// mid-optimization; the solve must return DeadlineExceeded within a
+	// few iteration boundaries, not run out its 300-iteration budget
+	// (which would take ≥ 1.5s at 5ms per eval).
+	installHook(t, func(stage string) {
+		if stage == FaultIteration {
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	p := problems.FLP(1, 0)
+	start := time.Now()
+	_, err := Solve(ctx, p, Options{MaxIter: 300, Seed: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("deadline-bound solve took %v; cancellation is not cooperative enough", elapsed)
+	}
+}
+
+func TestSolvePanicBecomesErrSolvePanic(t *testing.T) {
+	var once sync.Once
+	installHook(t, func(stage string) {
+		if stage == FaultIteration {
+			once.Do(func() { panic("injected solver fault") })
+		}
+	})
+	p := problems.FLP(1, 0)
+	res, err := Solve(context.Background(), p, Options{MaxIter: 50, Seed: 1})
+	if res != nil {
+		t.Error("panicked solve returned a non-nil result")
+	}
+	if !errors.Is(err, ErrSolvePanic) {
+		t.Fatalf("err = %v, want ErrSolvePanic", err)
+	}
+	var spe *SolvePanicError
+	if !errors.As(err, &spe) {
+		t.Fatalf("err %T does not unwrap to *SolvePanicError", err)
+	}
+	if !strings.Contains(spe.Value, "injected solver fault") {
+		t.Errorf("panic value %q lost the original message", spe.Value)
+	}
+	if !strings.Contains(spe.Stack, "goroutine") {
+		t.Error("panic error carries no stack trace")
+	}
+}
+
+// TestSolvePanicOnPoolWorkerIsolated panics inside the multi-start loop,
+// which runs on the shared worker pool: the pool must convert it to a
+// *parallel.PanicError, Solve must convert that to ErrSolvePanic, and
+// the pool must stay usable — proven by an immediately following solve.
+func TestSolvePanicOnPoolWorkerIsolated(t *testing.T) {
+	var once sync.Once
+	installHook(t, func(stage string) {
+		if stage == FaultIteration {
+			once.Do(func() { panic("pool worker fault") })
+		}
+	})
+	p := problems.FLP(1, 0)
+	if _, err := Solve(context.Background(), p, Options{MaxIter: 120, Seed: 2}); !errors.Is(err, ErrSolvePanic) {
+		t.Fatalf("err = %v, want ErrSolvePanic", err)
+	}
+	SetFaultHook(nil)
+	if _, err := Solve(context.Background(), p, Options{MaxIter: 60, Seed: 2}); err != nil {
+		t.Fatalf("solve after recovered panic failed: %v", err)
+	}
+}
+
+func TestSolveCompileFaultStage(t *testing.T) {
+	var stages []string
+	var mu sync.Mutex
+	installHook(t, func(stage string) {
+		mu.Lock()
+		stages = append(stages, stage)
+		mu.Unlock()
+	})
+	p := problems.FLP(1, 0)
+	if _, err := Solve(context.Background(), p, Options{MaxIter: 40, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(stages) == 0 || stages[0] != FaultCompile {
+		t.Fatalf("first fault stage = %v, want %q first", stages, FaultCompile)
+	}
+	iter := 0
+	for _, s := range stages[1:] {
+		if s == FaultIteration {
+			iter++
+		}
+	}
+	if iter == 0 {
+		t.Error("no iteration-stage fault callbacks observed")
+	}
+}

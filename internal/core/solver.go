@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -87,7 +88,31 @@ type Result struct {
 }
 
 // Solve runs the full Rasengan pipeline on p.
-func Solve(p *problems.Problem, opts Options) (*Result, error) {
+//
+// Cancellation is cooperative: ctx (nil means context.Background()) is
+// checked at every optimizer iteration, executor segment, and parallel
+// chunk boundary, and once it fires Solve returns ctx.Err() — typically
+// context.Canceled or context.DeadlineExceeded — within one boundary's
+// worth of work. Cancellation never corrupts shared state: the worker
+// pool merely stops handing out indices.
+//
+// Panics raised anywhere in the solve — including on pool workers, which
+// surface as *parallel.PanicError — are recovered here and returned as a
+// *SolvePanicError matching errors.Is(err, ErrSolvePanic), so one bad
+// problem instance cannot take down a process hosting many solves.
+func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Result, rerr error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			result, rerr = nil, NewSolvePanicError(r)
+		}
+	}()
+	if e := ctx.Err(); e != nil {
+		return nil, e
+	}
+
 	compileStart := time.Now()
 	basis, err := BuildBasis(p, opts.Basis)
 	if err != nil {
@@ -102,6 +127,7 @@ func Solve(p *problems.Problem, opts Options) (*Result, error) {
 		return nil, err
 	}
 	compileMS := float64(time.Since(compileStart).Microseconds()) / 1000
+	fault(FaultCompile)
 
 	maxIter := opts.MaxIter
 	if maxIter <= 0 {
@@ -148,8 +174,15 @@ func Solve(p *problems.Problem, opts Options) (*Result, error) {
 		srng := parallel.NewRand(opts.Seed+7, uint64(i))
 		o := &outcomes[i]
 		objective := func(t []float64) float64 {
+			fault(FaultIteration)
+			if ctx.Err() != nil {
+				// Fast-exit: an infinite value never beats the incumbent,
+				// and the optimizer's own per-iteration ctx check stops the
+				// loop at the next boundary.
+				return math.Inf(1)
+			}
 			o.evals++
-			dist, err := ex.Run(t, srng)
+			dist, err := ex.RunCtx(ctx, t, srng)
 			o.quantumNS += ex.LastQuantumNS
 			if err != nil {
 				return math.Inf(1)
@@ -166,8 +199,12 @@ func Solve(p *problems.Problem, opts Options) (*Result, error) {
 			MaxEvals: opts.MaxEvals,
 			Step:     math.Pi / 8,
 			Seed:     opts.Seed + int64(i),
+			Ctx:      ctx,
 		})
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Winner by objective value, ties to the lowest start index.
 	best := 0
@@ -188,9 +225,12 @@ func Solve(p *problems.Problem, opts Options) (*Result, error) {
 	// Final evaluation at the optimizer's best parameters to produce the
 	// reported distribution and in-constraints accounting.
 	finalRng := parallel.NewRand(opts.Seed+7, uint64(len(starts)))
-	finalDist, err := exec.Run(res.X, finalRng)
+	finalDist, err := exec.RunCtx(ctx, res.X, finalRng)
 	quantumNS += exec.LastQuantumNS
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		if lastGood == nil {
 			return nil, fmt.Errorf("core: %s: optimization never produced a feasible distribution: %w", p.Name, err)
 		}

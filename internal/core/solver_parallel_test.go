@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestSolveDeterministicAcrossWorkers(t *testing.T) {
 	p := problems.FLP(1, 0)
 	run := func(workers int) *Result {
 		parallel.SetWorkers(workers)
-		res, err := Solve(p, Options{
+		res, err := Solve(context.Background(), p, Options{
 			MaxIter: 40, // three starts at >10 iterations each
 			Seed:    17,
 			Exec:    ExecOptions{Shots: 256, OpsPerSegment: 1, Device: device.Kyiv(), Trajectories: 4},

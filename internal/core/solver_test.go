@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -174,7 +175,7 @@ func TestSolveReachesOptimumSmall(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Solve(p, Options{MaxIter: 200, Seed: 1})
+		res, err := Solve(context.Background(), p, Options{MaxIter: 200, Seed: 1})
 		if err != nil {
 			t.Fatalf("%s: %v", label, err)
 		}
@@ -190,7 +191,7 @@ func TestSolveReachesOptimumSmall(t *testing.T) {
 
 func TestSolveResultInvariants(t *testing.T) {
 	p := problems.SCP(1, 0)
-	res, err := Solve(p, Options{MaxIter: 60, Seed: 5})
+	res, err := Solve(context.Background(), p, Options{MaxIter: 60, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestSolveResultInvariants(t *testing.T) {
 
 func TestSolveOnNoisyDevice(t *testing.T) {
 	p := problems.FLP(1, 0)
-	res, err := Solve(p, Options{
+	res, err := Solve(context.Background(), p, Options{
 		MaxIter: 25,
 		Seed:    9,
 		Exec:    ExecOptions{Shots: 256, OpsPerSegment: 1, Device: device.Brisbane(), Trajectories: 4},
@@ -234,11 +235,11 @@ func TestSolveOnNoisyDevice(t *testing.T) {
 
 func TestSolveDeterministicForSeed(t *testing.T) {
 	p := problems.FLP(1, 1)
-	a, err := Solve(p, Options{MaxIter: 40, Seed: 11})
+	a, err := Solve(context.Background(), p, Options{MaxIter: 40, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Solve(p, Options{MaxIter: 40, Seed: 11})
+	b, err := Solve(context.Background(), p, Options{MaxIter: 40, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +255,7 @@ func TestSolveWithEachOptimizer(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, m := range []optimize.Method{optimize.MethodCOBYLA, optimize.MethodNelderMead, optimize.MethodPowell, optimize.MethodSPSA} {
-		res, err := Solve(p, Options{MaxIter: 120, Seed: 4, Optimizer: m})
+		res, err := Solve(context.Background(), p, Options{MaxIter: 120, Seed: 4, Optimizer: m})
 		if err != nil {
 			t.Fatalf("%s: %v", m, err)
 		}
@@ -276,7 +277,7 @@ func TestSolveMaximizeProblem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Solve(p, Options{MaxIter: 150, Seed: 1})
+	res, err := Solve(context.Background(), p, Options{MaxIter: 150, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +288,7 @@ func TestSolveMaximizeProblem(t *testing.T) {
 
 func TestSolveShotGrowthOption(t *testing.T) {
 	p := problems.FLP(1, 0)
-	res, err := Solve(p, Options{
+	res, err := Solve(context.Background(), p, Options{
 		MaxIter: 25,
 		Seed:    2,
 		Exec:    ExecOptions{Shots: 128, OpsPerSegment: 1, ShotGrowth: 10, MaxShotsPerSegment: 4096},

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"rasengan/internal/metrics"
@@ -24,7 +25,7 @@ func TestSolveFullSuite(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := Solve(p, Options{MaxIter: 120, Seed: 3})
+			res, err := Solve(context.Background(), p, Options{MaxIter: 120, Seed: 3})
 			if err != nil {
 				t.Fatal(err)
 			}

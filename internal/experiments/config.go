@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -49,6 +50,18 @@ type Config struct {
 	// Parallelism is a deprecated alias for Workers, consulted only when
 	// Workers is zero.
 	Parallelism int
+	// Ctx, when non-nil, cancels the sweep cooperatively: solves in
+	// flight stop at their next iteration boundary and remaining cases
+	// report the context's error. Nil means no cancellation.
+	Ctx context.Context
+}
+
+// ctx returns the configured context, defaulting to Background.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 func (c Config) withDefaults() Config {
@@ -110,7 +123,7 @@ func runAlgorithm(algo string, p *problems.Problem, ref problems.Reference, cfg 
 	out := AlgoOutcome{Algorithm: algo}
 	switch algo {
 	case "rasengan":
-		res, err := core.Solve(p, core.Options{
+		res, err := core.Solve(cfg.ctx(), p, core.Options{
 			MaxIter: cfg.MaxIter,
 			Seed:    seed,
 			Exec: core.ExecOptions{

@@ -91,7 +91,7 @@ func Fig10(cfg Config, maxPoints int) (*Fig10Result, error) {
 		}
 
 		// Noise-free ARG with shot sampling.
-		res, err := core.Solve(p, core.Options{
+		res, err := core.Solve(cfg.ctx(), p, core.Options{
 			MaxIter:  cfg.MaxIter,
 			Seed:     cfg.Seed,
 			Schedule: core.ScheduleOptions{MaxTrackedStates: 20000},
@@ -104,7 +104,7 @@ func Fig10(cfg Config, maxPoints int) (*Fig10Result, error) {
 		}
 
 		// Noisy ARG on the Quebec model.
-		nres, err := core.Solve(p, core.Options{
+		nres, err := core.Solve(cfg.ctx(), p, core.Options{
 			MaxIter:  cfg.MaxIter / 2,
 			Seed:     cfg.Seed + 1,
 			Schedule: core.ScheduleOptions{MaxTrackedStates: 20000},

@@ -45,7 +45,7 @@ func Fig13(cfg Config) (*Fig13Result, error) {
 			continue
 		}
 		seen[segments] = true
-		res, err := core.Solve(p, core.Options{
+		res, err := core.Solve(cfg.ctx(), p, core.Options{
 			MaxIter: cfg.MaxIter,
 			Seed:    cfg.Seed,
 			Exec: core.ExecOptions{

@@ -1,0 +1,60 @@
+package optimize
+
+import (
+	"context"
+	"testing"
+)
+
+// TestCancelStopsEveryMethod cancels the context after a handful of
+// evaluations and checks each optimizer stops at the next iteration
+// boundary instead of spending its full budget.
+func TestCancelStopsEveryMethod(t *testing.T) {
+	for _, m := range []Method{MethodCOBYLA, MethodNelderMead, MethodSPSA, MethodPowell} {
+		t.Run(string(m), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			evals := 0
+			f := func(x []float64) float64 {
+				evals++
+				if evals == 12 {
+					cancel()
+				}
+				s := 0.0
+				for _, v := range x {
+					s += (v - 1) * (v - 1)
+				}
+				return s
+			}
+			x0 := make([]float64, 6)
+			res := Minimize(m, f, x0, Options{MaxIter: 500, MaxEvals: 100000, Ctx: ctx})
+			// One iteration may be in flight when the cancel lands; the
+			// bound below is far under the 500-iteration budget (which
+			// would spend thousands of evals) but allows that last
+			// iteration to finish.
+			const slack = 60
+			if evals > 12+slack {
+				t.Errorf("%s spent %d evals after cancel at 12 (budget would allow %d)", m, evals, res.Evals)
+			}
+			if res.X == nil {
+				t.Errorf("%s returned no best point after cancel", m)
+			}
+		})
+	}
+}
+
+// TestNilCtxRunsToBudget guards the default: a zero Options.Ctx must not
+// stop anything early.
+func TestNilCtxRunsToBudget(t *testing.T) {
+	evals := 0
+	f := func(x []float64) float64 {
+		evals++
+		s := 0.0
+		for i, v := range x {
+			s += (v - float64(i)) * (v - float64(i))
+		}
+		return s
+	}
+	res := COBYLA(f, make([]float64, 4), Options{MaxIter: 30})
+	if res.Iters == 0 || evals < 10 {
+		t.Errorf("nil-ctx run stopped early: %d iters, %d evals", res.Iters, evals)
+	}
+}

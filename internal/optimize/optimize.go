@@ -6,6 +6,7 @@
 package optimize
 
 import (
+	"context"
 	"math"
 	"math/rand"
 )
@@ -25,6 +26,17 @@ type Options struct {
 	TolF     float64 // stop when the working set's spread falls below TolF
 	Step     float64 // initial step / trust radius (default 0.5)
 	Seed     int64   // rng seed for stochastic methods
+
+	// Ctx, when non-nil, is checked once per optimizer iteration: a done
+	// context stops the loop at the next iteration boundary and the best
+	// point seen so far is returned. The caller decides whether an early
+	// stop is an error (core.Solve surfaces ctx.Err()).
+	Ctx context.Context
+}
+
+// cancelled reports whether the run's context is done.
+func (o Options) cancelled() bool {
+	return o.Ctx != nil && o.Ctx.Err() != nil
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -104,6 +116,9 @@ func NelderMead(f Objective, x0 []float64, opts Options) Result {
 	)
 	iters := 0
 	for ; iters < opts.MaxIter && bf.evals < opts.MaxEvals; iters++ {
+		if opts.cancelled() {
+			break
+		}
 		order(pts, vals)
 		if vals[n]-vals[0] < opts.TolF {
 			break
@@ -196,6 +211,9 @@ func COBYLA(f Objective, x0 []float64, opts Options) Result {
 	const minRadius = 1e-7
 	iters := 0
 	for ; iters < opts.MaxIter && bf.evals < opts.MaxEvals && radius > minRadius; iters++ {
+		if opts.cancelled() {
+			break
+		}
 		order(pts, vals)
 		// Linear model gradient from simplex differences: g solves
 		// (p_i − p_0)·g = f_i − f_0 approximately (coordinate fit).
@@ -278,6 +296,9 @@ func SPSA(f Objective, x0 []float64, opts Options) Result {
 	)
 	iters := 0
 	for ; iters < opts.MaxIter && bf.evals+2 <= opts.MaxEvals; iters++ {
+		if opts.cancelled() {
+			break
+		}
 		k := float64(iters + 1)
 		ak := aScale * opts.Step / math.Pow(k+bigA, alpha)
 		ck := cScale * opts.Step / math.Pow(k, gamma)

@@ -28,15 +28,26 @@ func Powell(f Objective, x0 []float64, opts Options) Result {
 
 	iters := 0
 	for ; iters < opts.MaxIter && bf.evals < opts.MaxEvals; iters++ {
+		if opts.cancelled() {
+			break
+		}
 		x0iter := append([]float64(nil), x...)
 		f0iter := fx
 		biggestDrop, dropIdx := 0.0, 0
 		for i, d := range dirs {
+			// A Powell iteration is n line searches; checking between them
+			// bounds cancellation latency by one search, not one cycle.
+			if opts.cancelled() {
+				break
+			}
 			fBefore := fx
 			x, fx = lineMinimize(bf, x, d, opts.Step, fx)
 			if drop := fBefore - fx; drop > biggestDrop {
 				biggestDrop, dropIdx = drop, i
 			}
+		}
+		if opts.cancelled() {
+			break
 		}
 		// Net displacement of the cycle.
 		disp := make([]float64, n)

@@ -1,0 +1,142 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForPanicIsolated proves a panic inside a pool task neither kills
+// the process (the test would crash) nor deadlocks the waiter: ForWorkers
+// re-raises it on the caller as a *PanicError carrying the worker stack.
+func TestForPanicIsolated(t *testing.T) {
+	p := NewPool(4)
+	recovered := func() (r any) {
+		defer func() { r = recover() }()
+		p.ForWorkers(4, 64, func(i int) {
+			if i == 7 {
+				panic("boom at 7")
+			}
+		})
+		return nil
+	}()
+	pe, ok := recovered.(*PanicError)
+	if !ok {
+		t.Fatalf("recovered %T (%v), want *PanicError", recovered, recovered)
+	}
+	if pe.Value != "boom at 7" {
+		t.Errorf("panic value %v, want boom at 7", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "goroutine") {
+		t.Errorf("PanicError carries no stack:\n%s", pe.Stack)
+	}
+	if !strings.Contains(pe.Error(), "boom at 7") {
+		t.Errorf("Error() = %q, want the panic value included", pe.Error())
+	}
+
+	// The pool must stay fully usable after a panicked loop.
+	var ran atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		p.ForWorkers(4, 100, func(int) { ran.Add(1) })
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pool deadlocked after a panicked task")
+	}
+	if ran.Load() != 100 {
+		t.Errorf("post-panic loop ran %d of 100 indices", ran.Load())
+	}
+}
+
+// TestForPanicStopsClaiming checks that after one task panics the loop
+// stops claiming new indices instead of burning through the rest.
+func TestForPanicStopsClaiming(t *testing.T) {
+	p := NewPool(2)
+	var ran atomic.Int64
+	func() {
+		defer func() { _ = recover() }()
+		p.ForWorkers(2, 1_000_000, func(i int) {
+			if ran.Add(1) == 10 {
+				panic("stop")
+			}
+			time.Sleep(time.Microsecond)
+		})
+	}()
+	if got := ran.Load(); got > 1000 {
+		t.Errorf("loop claimed %d indices after the panic; claiming should stop", got)
+	}
+}
+
+func TestForWorkersCtxCancelStopsEarly(t *testing.T) {
+	p := NewPool(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := p.ForWorkersCtx(ctx, 4, 1_000_000, func(i int) {
+		if ran.Add(1) == 50 {
+			cancel()
+		}
+		time.Sleep(time.Microsecond)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got > 1000 {
+		t.Errorf("ran %d indices after cancellation; claiming should stop", got)
+	}
+}
+
+func TestForWorkersCtxCompletesUncancelled(t *testing.T) {
+	p := NewPool(4)
+	hit := make([]int64, 500)
+	if err := p.ForWorkersCtx(context.Background(), 4, len(hit), func(i int) {
+		atomic.AddInt64(&hit[i], 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hit {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestForChunksCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForChunksCtx(ctx, 1<<16, 1<<10, func(lo, hi int) { ran.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A pre-cancelled context may still let the first claimed chunks slip
+	// through on other workers, but cannot run the whole range.
+	if ran.Load() == 1<<6 {
+		t.Error("every chunk ran despite a pre-cancelled context")
+	}
+}
+
+// TestForCtxSerialPath covers the workers==1 inline path, which must also
+// honor cancellation between indices.
+func TestForCtxSerialPath(t *testing.T) {
+	p := NewPool(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err := p.ForWorkersCtx(ctx, 1, 100, func(i int) {
+		ran++
+		if ran == 5 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 5 {
+		t.Errorf("serial path ran %d indices after cancel at 5", ran)
+	}
+}

@@ -11,13 +11,38 @@
 // ForChunks fixes chunk boundaries as a function of the input size alone;
 // SumChunks combines partial sums in chunk order, making floating-point
 // reductions bit-identical for any worker count.
+//
+// Failure isolation: a panic inside a pool task is recovered on the
+// worker, and re-raised as a *PanicError on the goroutine that submitted
+// the loop after all in-flight tasks settle — the pool's workers survive,
+// and no waiter can deadlock on a panicked task. The Ctx variants
+// (ForCtx, ForWorkersCtx, ForChunksCtx) add cooperative cancellation at
+// index/chunk granularity.
 package parallel
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a panic recovered from a pool task. ForWorkers re-raises
+// it on the submitting goroutine once every task has settled, so a panic
+// on a worker can neither kill the process from an unrecoverable
+// goroutine nor deadlock the waiters — callers that recover (core.Solve
+// does) see the original panic value and the stack of the worker that
+// raised it.
+type PanicError struct {
+	Value any    // the value passed to panic()
+	Stack []byte // stack of the panicking task
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task panic: %v", e.Value)
+}
 
 // Pool is a fixed set of persistent worker goroutines. Work is handed to a
 // worker only when one is idle (unbuffered channel, non-blocking send);
@@ -57,9 +82,26 @@ func (p *Pool) start() {
 // goroutine participates, so the pool's workers are pure acceleration:
 // correctness never depends on one being free. fn must be safe to call
 // concurrently and should write only to i-indexed state.
+//
+// A panic in fn stops new indices from being claimed and, once every
+// in-flight task has settled, is re-raised on the calling goroutine as a
+// *PanicError (first panic wins). Pool workers themselves never die.
 func (p *Pool) ForWorkers(workers, n int, fn func(i int)) {
+	p.forWorkers(nil, workers, n, fn)
+}
+
+// ForWorkersCtx is ForWorkers with cooperative cancellation: once ctx is
+// done, no further indices are claimed (in-flight fn calls finish) and
+// the context's error is returned. Work completed before cancellation is
+// identical to an uncancelled run — cancellation only truncates, never
+// reorders.
+func (p *Pool) ForWorkersCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	return p.forWorkers(ctx, workers, n, fn)
+}
+
+func (p *Pool) forWorkers(ctx context.Context, workers, n int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if workers <= 0 || workers > p.size {
 		workers = p.size
@@ -69,17 +111,33 @@ func (p *Pool) ForWorkers(workers, n int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	p.once.Do(p.start)
 
 	var next int64
 	var wg sync.WaitGroup
+	var firstPanic atomic.Pointer[PanicError]
 	task := func() {
 		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				pe := &PanicError{Value: r, Stack: debug.Stack()}
+				firstPanic.CompareAndSwap(nil, pe)
+			}
+		}()
 		for {
+			if firstPanic.Load() != nil {
+				return
+			}
+			if ctx != nil && ctx.Err() != nil {
+				return
+			}
 			i := int(atomic.AddInt64(&next, 1)) - 1
 			if i >= n {
 				return
@@ -101,6 +159,13 @@ submit:
 	wg.Add(1)
 	task()
 	wg.Wait()
+	if pe := firstPanic.Load(); pe != nil {
+		panic(pe)
+	}
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // --- Shared default pool ---
@@ -134,6 +199,13 @@ func For(n int, fn func(i int)) {
 	defaultPool.ForWorkers(Workers(), n, fn)
 }
 
+// ForCtx runs fn(i) for i in [0, n) on the shared pool, claiming no new
+// indices once ctx is done; it returns ctx's error when cancelled, nil
+// when every index ran.
+func ForCtx(ctx context.Context, n int, fn func(i int)) error {
+	return defaultPool.ForWorkersCtx(ctx, Workers(), n, fn)
+}
+
 // ForWorkers runs fn(i) for i in [0, n) on the shared pool with an
 // explicit worker cap (0 or less means the default count).
 func ForWorkers(workers, n int, fn func(i int)) {
@@ -149,18 +221,33 @@ func ForWorkers(workers, n int, fn func(i int)) {
 // chunkSize — never on the worker count — so per-chunk work is stable
 // across configurations.
 func ForChunks(total, chunkSize int, fn func(lo, hi int)) {
+	_ = forChunksCtx(nil, total, chunkSize, fn)
+}
+
+// ForChunksCtx is ForChunks with cooperative cancellation at chunk
+// granularity: once ctx is done no further chunks start, and the
+// context's error is returned. Callers must treat partially processed
+// data as invalid once an error comes back.
+func ForChunksCtx(ctx context.Context, total, chunkSize int, fn func(lo, hi int)) error {
+	return forChunksCtx(ctx, total, chunkSize, fn)
+}
+
+func forChunksCtx(ctx context.Context, total, chunkSize int, fn func(lo, hi int)) error {
 	if total <= 0 {
-		return
+		return nil
 	}
 	if chunkSize < 1 {
 		chunkSize = 1
 	}
 	n := (total + chunkSize - 1) / chunkSize
 	if n == 1 {
+		if ctx != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
 		fn(0, total)
-		return
+		return nil
 	}
-	For(n, func(i int) {
+	return defaultPool.forWorkers(ctx, Workers(), n, func(i int) {
 		lo := i * chunkSize
 		hi := lo + chunkSize
 		if hi > total {

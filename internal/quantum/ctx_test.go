@@ -1,0 +1,77 @@
+package quantum
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// deepCircuit builds a circuit with enough gates that a cancellation
+// landing mid-run is observable.
+func deepCircuit(n, layers int) *Circuit {
+	c := NewCircuit(n)
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			c.H(q)
+		}
+		for q := 0; q+1 < n; q++ {
+			c.CX(q, q+1)
+		}
+	}
+	return c
+}
+
+func TestDenseRunCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d := NewDense(8)
+	if err := d.RunCtx(ctx, deepCircuit(8, 4)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestDenseRunCtxCompletesMatchesRun(t *testing.T) {
+	c := deepCircuit(6, 3)
+	a, b := NewDense(6), NewDense(6)
+	a.Run(c)
+	if err := b.RunCtx(context.Background(), c); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.amps {
+		if a.amps[i] != b.amps[i] {
+			t.Fatalf("amplitude %d differs: %v vs %v", i, a.amps[i], b.amps[i])
+		}
+	}
+}
+
+func TestSampleDenseNoisyCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	nm := &NoiseModel{OneQubitDepol: 0.01}
+	_, err := SampleDenseNoisyCtx(ctx, deepCircuit(6, 3), NewDense(6), nm, 256, 8, rand.New(rand.NewSource(1)))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSampleDenseNoisyCtxMatchesUncancelled pins the contract that the
+// ctx-aware path is bit-identical to the legacy entry point when the
+// context never fires.
+func TestSampleDenseNoisyCtxMatchesUncancelled(t *testing.T) {
+	c := deepCircuit(6, 2)
+	nm := &NoiseModel{OneQubitDepol: 0.02, ReadoutError: 0.01}
+	a := SampleDenseNoisy(c, NewDense(6), nm, 512, 8, rand.New(rand.NewSource(7)))
+	b, err := SampleDenseNoisyCtx(context.Background(), c, NewDense(6), nm, 512, 8, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("count maps differ in size: %d vs %d", len(a), len(b))
+	}
+	for x, n := range a {
+		if b[x] != n {
+			t.Fatalf("count for %s differs: %d vs %d", x, n, b[x])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package quantum
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -33,12 +34,19 @@ const denseChunk = 1 << 13
 // being an owner itself), so contiguous shards never race on an element.
 // The kernels are element-wise, so a single full-range call is
 // bit-identical to any chunking; one worker takes that fast path.
+//
+// When a cancellation context is installed (WithContext) and already
+// done, remaining chunks are abandoned: the state is garbage from then
+// on, and the ctx-aware entry points (RunCtx) surface the error.
 func (d *Dense) forShards(fn func(lo, hi uint64)) {
 	if len(d.amps) < parallelAmpThreshold || parallel.Workers() == 1 {
+		if d.ctx != nil && d.ctx.Err() != nil {
+			return
+		}
 		fn(0, uint64(len(d.amps)))
 		return
 	}
-	parallel.ForChunks(len(d.amps), denseChunk, func(lo, hi int) {
+	_ = parallel.ForChunksCtx(d.ctx, len(d.amps), denseChunk, func(lo, hi int) {
 		fn(uint64(lo), uint64(hi))
 	})
 }
@@ -59,6 +67,16 @@ func (d *Dense) sumShards(fn func(lo, hi uint64) float64) float64 {
 type Dense struct {
 	n    int
 	amps []complex128
+	ctx  context.Context // optional cancellation; nil = never cancelled
+}
+
+// WithContext installs a cancellation context consulted by the sharded
+// kernels at chunk granularity and by RunCtx between gates. Once ctx is
+// done the register's contents are unspecified; only the error returned
+// by RunCtx (or ctx.Err itself) is meaningful. Returns d for chaining.
+func (d *Dense) WithContext(ctx context.Context) *Dense {
+	d.ctx = ctx
+	return d
 }
 
 // NewDense returns the |0...0⟩ state over n qubits.
@@ -239,6 +257,27 @@ func (d *Dense) Run(c *Circuit) {
 	}
 }
 
+// RunCtx applies the circuit with cooperative cancellation: ctx is
+// checked before every gate (and, through the installed context, at
+// chunk granularity inside each sharded kernel), and the context's error
+// is returned as soon as it fires. The register's contents are
+// unspecified after a non-nil return.
+func (d *Dense) RunCtx(ctx context.Context, c *Circuit) error {
+	if c.NumQubits > d.n {
+		panic(fmt.Sprintf("quantum: circuit of %d qubits on %d-qubit state", c.NumQubits, d.n))
+	}
+	prev := d.ctx
+	d.ctx = ctx
+	defer func() { d.ctx = prev }()
+	for _, g := range c.Gates {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		d.ApplyGate(g)
+	}
+	return ctx.Err()
+}
+
 // ApplyDiagonalPhase multiplies each amplitude by e^{-i·gamma·energy[x]},
 // the phase-separator of QAOA for a diagonal objective Hamiltonian.
 func (d *Dense) ApplyDiagonalPhase(energy []float64, gamma float64) {
@@ -371,9 +410,10 @@ func (d *Dense) ReflectAboutUniform() {
 	}
 }
 
-// Clone deep-copies the state.
+// Clone deep-copies the state (the installed cancellation context, if
+// any, is shared, so trajectory clones stay cancellable).
 func (d *Dense) Clone() *Dense {
-	c := &Dense{n: d.n, amps: make([]complex128, len(d.amps))}
+	c := &Dense{n: d.n, amps: make([]complex128, len(d.amps)), ctx: d.ctx}
 	copy(c.amps, d.amps)
 	return c
 }

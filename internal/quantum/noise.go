@@ -1,6 +1,7 @@
 package quantum
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -177,6 +178,16 @@ func RunDenseTrajectory(c *Circuit, init *Dense, nm *NoiseModel, rng *rand.Rand)
 // rng, and per-trajectory counts merge by commutative integer addition, so
 // the result is bit-identical for any worker count.
 func SampleDenseNoisy(c *Circuit, init *Dense, nm *NoiseModel, shots, trajectories int, rng *rand.Rand) map[bitvec.Vec]int {
+	out, _ := SampleDenseNoisyCtx(context.Background(), c, init, nm, shots, trajectories, rng)
+	return out
+}
+
+// SampleDenseNoisyCtx is SampleDenseNoisy with cooperative cancellation
+// at trajectory granularity: once ctx is done no further trajectories
+// start, in-flight ones are abandoned at their next gate, and the
+// context's error is returned (with a nil count map). The uncancelled
+// path is bit-identical to SampleDenseNoisy for any worker count.
+func SampleDenseNoisyCtx(ctx context.Context, c *Circuit, init *Dense, nm *NoiseModel, shots, trajectories int, rng *rand.Rand) (map[bitvec.Vec]int, error) {
 	if trajectories <= 0 || trajectories > shots {
 		trajectories = shots
 	}
@@ -188,7 +199,7 @@ func SampleDenseNoisy(c *Circuit, init *Dense, nm *NoiseModel, shots, trajectori
 		extra = shots % trajectories
 	}
 	perTraj := make([]map[bitvec.Vec]int, trajectories)
-	parallel.For(trajectories, func(t int) {
+	_ = parallel.ForCtx(ctx, trajectories, func(t int) {
 		n := perShare
 		if t < extra {
 			n++
@@ -197,7 +208,16 @@ func SampleDenseNoisy(c *Circuit, init *Dense, nm *NoiseModel, shots, trajectori
 			return
 		}
 		trng := parallel.NewRand(base, uint64(t))
-		d := RunDenseTrajectory(c, init, nm, trng)
+		d := init.Clone().WithContext(ctx)
+		for _, g := range c.Gates {
+			if ctx.Err() != nil {
+				return
+			}
+			d.ApplyGate(g)
+			if !nm.IsZero() {
+				nm.afterGateDense(d, g, trng)
+			}
+		}
 		counts := d.Sample(trng, n)
 		if !nm.IsZero() && nm.ReadoutError > 0 {
 			// Iterate in sorted key order: readout flips consume the
@@ -212,13 +232,16 @@ func SampleDenseNoisy(c *Circuit, init *Dense, nm *NoiseModel, shots, trajectori
 		}
 		perTraj[t] = counts
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := make(map[bitvec.Vec]int)
 	for _, m := range perTraj {
 		for x, cnt := range m {
 			out[x] += cnt
 		}
 	}
-	return out
+	return out, nil
 }
 
 // sortedCountKeys returns the keys of a count map in deterministic order.

@@ -40,6 +40,10 @@ type job struct {
 	cached   bool
 	accepted time.Time
 
+	// settled marks the job as counted in the store's retention ring;
+	// guarded by the store's mutex, not the job's.
+	settled bool
+
 	done chan struct{}
 }
 
@@ -92,11 +96,18 @@ type jobView struct {
 // jobStore tracks jobs by id, deduplicates in-flight work by content
 // address (single-flight), and bounds how many terminal jobs it retains.
 type jobStore struct {
-	mu        sync.Mutex
-	seq       uint64
-	byID      map[string]*job
-	inflight  map[string]*job // key → queued/running job
-	retained  []string        // terminal job ids in completion order
+	mu       sync.Mutex
+	seq      uint64
+	byID     map[string]*job
+	inflight map[string]*job // key → queued/running job
+	// retained is a fixed-capacity ring of terminal job ids in completion
+	// order: head indexes the oldest, count ≤ retention. A ring rather
+	// than an append-and-reslice slice because retained[1:] keeps the
+	// evicted id's backing memory reachable for the life of the slice —
+	// under sustained traffic that pinned every id ever retained.
+	retained  []string
+	head      int
+	count     int
 	retention int
 }
 
@@ -107,6 +118,7 @@ func newJobStore(retention int) *jobStore {
 	return &jobStore{
 		byID:      map[string]*job{},
 		inflight:  map[string]*job{},
+		retained:  make([]string, retention),
 		retention: retention,
 	}
 }
@@ -149,10 +161,11 @@ func (s *jobStore) createDone(result []byte, cached bool) *job {
 		id:     fmt.Sprintf("job-%08d", s.seq),
 		ctx:    ctx,
 		cancel: cancel,
-		status: StatusDone,
-		result: result,
-		cached: cached,
-		done:   make(chan struct{}),
+		status:  StatusDone,
+		result:  result,
+		cached:  cached,
+		settled: true,
+		done:    make(chan struct{}),
 	}
 	close(j.done)
 	s.byID[j.id] = j
@@ -165,6 +178,12 @@ func (s *jobStore) createDone(result []byte, cached bool) *job {
 func (s *jobStore) settle(j *job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if j.settled {
+		// Settling twice (e.g. a failed Submit path racing a worker) must
+		// not occupy two ring slots for one job.
+		return
+	}
+	j.settled = true
 	if s.inflight[j.key] == j {
 		delete(s.inflight, j.key)
 	}
@@ -173,12 +192,14 @@ func (s *jobStore) settle(j *job) {
 
 // retain must be called with s.mu held.
 func (s *jobStore) retain(id string) {
-	s.retained = append(s.retained, id)
-	for len(s.retained) > s.retention {
-		drop := s.retained[0]
-		s.retained = s.retained[1:]
-		delete(s.byID, drop)
+	if s.count < s.retention {
+		s.retained[(s.head+s.count)%s.retention] = id
+		s.count++
+		return
 	}
+	delete(s.byID, s.retained[s.head])
+	s.retained[s.head] = id
+	s.head = (s.head + 1) % s.retention
 }
 
 func (s *jobStore) get(id string) (*job, bool) {

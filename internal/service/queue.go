@@ -24,7 +24,7 @@ type jobQueue struct {
 	ch      chan *job
 	run     func(*job)
 	mu      sync.Mutex
-	drain   bool
+	settled chan struct{}  // non-nil once draining; closed when all jobs settle
 	pending sync.WaitGroup // accepted but not yet terminal
 	workers sync.WaitGroup
 }
@@ -56,7 +56,7 @@ func newJobQueue(capacity, executors int, run func(*job)) *jobQueue {
 // error state — the caller converts it to 429 and the client retries.
 func (q *jobQueue) Submit(j *job) error {
 	q.mu.Lock()
-	if q.drain {
+	if q.settled != nil {
 		q.mu.Unlock()
 		return ErrDraining
 	}
@@ -81,23 +81,26 @@ func (q *jobQueue) Depth() int { return len(q.ch) }
 func (q *jobQueue) Capacity() int { return cap(q.ch) }
 
 // Drain stops intake and waits until every accepted job has settled (or
-// ctx expires). It is idempotent; the first call closes the channel once
-// the pending set is empty, stopping the executors.
+// ctx expires). It is idempotent and single-shot internally: the first
+// call spawns the one goroutine that waits out the pending set, closes
+// the channel, and signals completion; every later call — including
+// retries after a ctx expiry — just waits on the same signal, so
+// repeated Drain calls cannot accumulate goroutines.
 func (q *jobQueue) Drain(ctx context.Context) error {
 	q.mu.Lock()
-	first := !q.drain
-	q.drain = true
-	q.mu.Unlock()
-
-	settled := make(chan struct{})
-	go func() {
-		q.pending.Wait()
-		if first {
+	if q.settled == nil {
+		q.settled = make(chan struct{})
+		settled := q.settled
+		go func() {
+			q.pending.Wait()
 			close(q.ch)
 			q.workers.Wait()
-		}
-		close(settled)
-	}()
+			close(settled)
+		}()
+	}
+	settled := q.settled
+	q.mu.Unlock()
+
 	select {
 	case <-settled:
 		return nil

@@ -76,9 +76,7 @@ func (c Config) withDefaults() Config {
 		c.JobRetention = 1024
 	}
 	if c.Solve == nil {
-		c.Solve = func(_ context.Context, p *problems.Problem, opts core.Options) (*core.Result, error) {
-			return core.Solve(p, opts)
-		}
+		c.Solve = core.Solve
 	}
 	return c
 }
@@ -102,9 +100,11 @@ type Server struct {
 	jobsCompleted metrics.Counter
 	jobsFailed    metrics.Counter
 	jobsCanceled  metrics.Counter
+	jobsCancelled metrics.Counter
 	jobsCoalesced metrics.Counter
 	rejectedFull  metrics.Counter
 	rejectedDrain metrics.Counter
+	solverPanics  metrics.Counter
 	inflight      metrics.Gauge
 }
 
@@ -130,6 +130,8 @@ func New(cfg Config) *Server {
 	s.jobsCompleted = r.Counter("rasengan_jobs_completed_total", "Jobs finished successfully.")
 	s.jobsFailed = r.Counter("rasengan_jobs_failed_total", "Jobs that errored or timed out.")
 	s.jobsCanceled = r.Counter("rasengan_jobs_canceled_total", "Jobs canceled by the client.")
+	s.jobsCancelled = r.Counter("rasengan_jobs_cancelled_total", "Jobs whose solve stopped cooperatively at a context cancellation or deadline.")
+	s.solverPanics = r.Counter("rasengan_solver_panics_total", "Solver panics recovered and converted into failed jobs.")
 	s.jobsCoalesced = r.Counter("rasengan_jobs_coalesced_total", "Requests joined onto an identical in-flight job.")
 	s.rejectedFull = r.Counter("rasengan_jobs_rejected_queue_full_total", "Submissions rejected with 429 (queue full).")
 	s.rejectedDrain = r.Counter("rasengan_jobs_rejected_draining_total", "Submissions rejected with 503 (draining).")
@@ -413,9 +415,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	_ = s.reg.WriteText(w)
 }
 
-// runJob executes one accepted job on an executor goroutine. Every path
-// ends in a terminal state: deadline-expired jobs fail, canceled jobs
-// settle as canceled, successes land in the cache.
+// runJob executes one accepted job synchronously on its executor
+// goroutine. The solve is cooperatively cancellable — core.Solve checks
+// j.ctx at every optimizer iteration, executor segment, and parallel
+// chunk — so when a deadline or cancel fires, the solve returns and the
+// executor is free for the next job within one boundary's worth of work;
+// no goroutine is left running an abandoned solve. Every path ends in a
+// terminal state: ctx-stopped jobs settle via finishErr, panics become
+// failed jobs, successes land in the cache.
 func (s *Server) runJob(j *job) {
 	defer func() {
 		s.jobs.settle(j)
@@ -430,38 +437,47 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	start := time.Now()
-	type outcome struct {
-		res *core.Result
-		err error
+	res, err := s.runSolve(j)
+	if err != nil {
+		if j.ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// Not a latency sample: observing abandoned solves would fold
+			// the deadline value itself into the duration histogram.
+			s.jobsCancelled.Inc()
+			s.finishErr(j, err)
+			return
+		}
+		s.solveDuration.Observe(time.Since(start).Seconds())
+		if errors.Is(err, core.ErrSolvePanic) {
+			s.solverPanics.Inc()
+		}
+		j.finish(StatusFailed, nil, err.Error())
+		s.jobsFailed.Inc()
+		return
 	}
-	ch := make(chan outcome, 1)
-	go func() {
-		res, err := s.cfg.Solve(j.ctx, j.problem, j.opts)
-		ch <- outcome{res, err}
+	s.solveDuration.Observe(time.Since(start).Seconds())
+	payload, err := marshalResult(j.problem, res)
+	if err != nil {
+		j.finish(StatusFailed, nil, "marshal result: "+err.Error())
+		s.jobsFailed.Inc()
+		return
+	}
+	s.cache.Put(j.key, payload)
+	j.finish(StatusDone, payload, "")
+	s.jobsCompleted.Inc()
+}
+
+// runSolve invokes the configured solver with a final panic net. The
+// default solver (core.Solve) already recovers its own panics into
+// ErrSolvePanic; this layer catches panics from substituted SolveFuncs
+// and anything on the executor goroutine outside the solver proper, so a
+// poisoned job can never kill an executor.
+func (s *Server) runSolve(j *job) (res *core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, core.NewSolvePanicError(r)
+		}
 	}()
-	select {
-	case o := <-ch:
-		s.solveDuration.Observe(time.Since(start).Seconds())
-		if o.err != nil {
-			j.finish(StatusFailed, nil, o.err.Error())
-			s.jobsFailed.Inc()
-			return
-		}
-		payload, err := marshalResult(j.problem, o.res)
-		if err != nil {
-			j.finish(StatusFailed, nil, "marshal result: "+err.Error())
-			s.jobsFailed.Inc()
-			return
-		}
-		s.cache.Put(j.key, payload)
-		j.finish(StatusDone, payload, "")
-		s.jobsCompleted.Inc()
-	case <-j.ctx.Done():
-		// The solver goroutine is left to finish in the background; its
-		// result is discarded. Solves are not preemptible mid-iteration.
-		s.solveDuration.Observe(time.Since(start).Seconds())
-		s.finishErr(j, j.ctx.Err())
-	}
+	return s.cfg.Solve(j.ctx, j.problem, j.opts)
 }
 
 func (s *Server) finishErr(j *job, err error) {

@@ -22,6 +22,8 @@
 package rasengan
 
 import (
+	"context"
+
 	"rasengan/internal/baselines"
 	"rasengan/internal/bitvec"
 	"rasengan/internal/core"
@@ -71,10 +73,28 @@ type BasisOptions = core.BasisOptions
 // pruning, early stop).
 type ScheduleOptions = core.ScheduleOptions
 
-// Solve runs the full Rasengan pipeline on p.
+// Solve runs the full Rasengan pipeline on p. It is SolveContext with
+// context.Background(): it cannot be cancelled from outside.
 func Solve(p *Problem, opts SolveOptions) (*Result, error) {
-	return core.Solve(p, opts)
+	return core.Solve(context.Background(), p, opts)
 }
+
+// SolveContext runs the full Rasengan pipeline on p under ctx.
+// Cancellation is cooperative — checked at every optimizer iteration,
+// executor segment, and simulator chunk — and returns ctx.Err()
+// (context.Canceled or context.DeadlineExceeded) within one boundary's
+// worth of work. Panics anywhere in the solve are recovered and returned
+// as an error matching errors.Is(err, ErrSolvePanic) instead of crashing
+// the caller.
+func SolveContext(ctx context.Context, p *Problem, opts SolveOptions) (*Result, error) {
+	return core.Solve(ctx, p, opts)
+}
+
+// ErrSolvePanic matches (via errors.Is) errors produced when a solve
+// panicked internally and was recovered at the Solve boundary; the
+// concrete error carries the panic message and the panicking goroutine's
+// stack.
+var ErrSolvePanic = core.ErrSolvePanic
 
 // CoverageReport says how much of a problem's feasible space the
 // constructed transition pool connects.
