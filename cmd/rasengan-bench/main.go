@@ -22,6 +22,7 @@ import (
 	"syscall"
 	"time"
 
+	"rasengan"
 	"rasengan/internal/experiments"
 	"rasengan/internal/parallel"
 )
@@ -34,15 +35,16 @@ func main() {
 	log.SetPrefix("rasengan-bench: ")
 
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, table2, fig9..fig17, or all")
-		cases    = flag.Int("cases", 0, "cases per benchmark (0 = scaled default)")
-		iters    = flag.Int("iters", 0, "optimizer iterations (0 = scaled default)")
-		shots    = flag.Int("shots", 0, "shots per execution (0 = experiment default)")
-		layers   = flag.Int("layers", 0, "baseline layers (0 = 5)")
-		seed     = flag.Int64("seed", 1, "base seed")
-		full     = flag.Bool("full", false, "paper-scale parameters (slow)")
-		maxDense = flag.Int("maxdense", 0, "dense-baseline qubit cap (0 = default)")
-		jsonDir  = flag.String("json", "", "also write each experiment's structured result as JSON into this directory")
+		exp       = flag.String("exp", "all", "experiment: table1, table2, fig9..fig17, or all")
+		cases     = flag.Int("cases", 0, "cases per benchmark (0 = scaled default)")
+		iters     = flag.Int("iters", 0, "optimizer iterations (0 = scaled default)")
+		shots     = flag.Int("shots", 0, "shots per execution (0 = experiment default)")
+		layers    = flag.Int("layers", 0, "baseline layers (0 = 5)")
+		seed      = flag.Int64("seed", 1, "base seed")
+		full      = flag.Bool("full", false, "paper-scale parameters (slow)")
+		maxDense  = flag.Int("maxdense", 0, "dense-baseline qubit cap (0 = default)")
+		jsonDir   = flag.String("json", "", "also write each experiment's structured result as JSON into this directory")
+		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON of every solve's stage spans (open in chrome://tracing or Perfetto)")
 	)
 	wf := parallel.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -69,6 +71,13 @@ func main() {
 		MaxDenseQubits: *maxDense,
 		Workers:        workers,
 		Ctx:            ctx,
+	}
+	// One recorder spans the whole run: every Rasengan solve any selected
+	// experiment performs lands in the same trace, each on its own tracks.
+	var rec *rasengan.TraceRecorder
+	if *traceFile != "" {
+		rec = rasengan.NewTraceRecorder()
+		cfg.Spans = rec
 	}
 	if *jsonDir != "" {
 		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
@@ -138,5 +147,13 @@ func main() {
 			}
 			fmt.Printf("(wrote %s)\n\n", path)
 		}
+	}
+
+	if rec != nil {
+		if err := rec.WriteChromeTraceFile(*traceFile); err != nil {
+			log.Fatalf("write trace: %v", err)
+		}
+		fmt.Printf("(wrote %s: %d spans; open in chrome://tracing or https://ui.perfetto.dev)\n",
+			*traceFile, rec.Len())
 	}
 }

@@ -20,6 +20,7 @@ import (
 
 	"rasengan"
 	"rasengan/internal/core"
+	"rasengan/internal/obs"
 	"rasengan/internal/parallel"
 	"rasengan/internal/problems"
 	"rasengan/internal/quantum"
@@ -38,6 +39,7 @@ func main() {
 		maxShow   = flag.Int("max", 5, "cap on vectors/circuits printed")
 		saveSched = flag.String("save-schedule", "", "write the pruned schedule as JSON to this path")
 		dumpProb  = flag.String("dump-problem", "", "write the instance as JSON to this path")
+		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON of the offline stages (open in chrome://tracing or Perfetto)")
 	)
 	wf := parallel.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -73,8 +75,17 @@ func main() {
 	fmt.Printf("constraint topology: avg degree %.2f, max degree %d, max row span %d, %d component(s)\n\n",
 		topo.AverageDegree, topo.MaxDegree, topo.MaxRowSpan, topo.Components)
 
+	// With -trace the three offline stages are spanned by hand: inspect
+	// never calls Solve, so it records the pipeline pieces it runs itself.
+	rec := (*obs.Recorder)(nil)
+	if *traceFile != "" {
+		rec = obs.NewRecorder()
+	}
+
 	checkpoint("basis construction")
+	sp := rec.Start(obs.StageBasis, 0, obs.NoParent)
 	basis, err := core.BuildBasis(p, core.BasisOptions{})
+	rec.End(sp)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,7 +106,9 @@ func main() {
 	}
 
 	checkpoint("schedule construction")
+	sp = rec.Start(obs.StageHamiltonian, 0, obs.NoParent)
 	sched := core.BuildSchedule(p, basis, core.ScheduleOptions{})
+	rec.End(sp)
 	fmt.Printf("\nschedule: %d operators kept of %d scheduled (%d pruned, early stop %v)\n",
 		len(sched.Ops), len(sched.AllOps), sched.PrunedCount, sched.EarlyStopped)
 	fmt.Printf("reachable feasible states: %d\n", len(sched.Reachable))
@@ -108,7 +121,9 @@ func main() {
 	}
 
 	checkpoint("segmentation")
+	sp = rec.Start(obs.StageCircuit, 0, obs.NoParent)
 	exec, err := core.NewExecutor(p, sched.Ops, core.ExecOptions{})
+	rec.End(sp)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -116,6 +131,13 @@ func main() {
 		exec.NumSegments(), exec.MaxSegmentDepth(), exec.TotalCX)
 	for i, d := range exec.SegmentDepths {
 		fmt.Printf("  segment %d: depth %d\n", i+1, d)
+	}
+
+	if rec != nil {
+		if err := rec.WriteChromeTraceFile(*traceFile); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote trace to %s (%d spans)\n", *traceFile, rec.Len())
 	}
 
 	if *saveSched != "" {

@@ -6,6 +6,7 @@
 //
 //	rasengan-serve -addr :8080
 //	rasengan-serve -addr :8080 -executors 4 -queue 128 -cache 512
+//	rasengan-serve -addr :8080 -debug-addr 127.0.0.1:6060   # pprof + expvar
 //
 // API:
 //
@@ -28,9 +29,12 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -50,7 +54,7 @@ import (
 //	slow-iteration  every solve iteration sleeps ~5ms, so short deadlines fire
 //
 // Unset means no fault hook — production runs never pay for this.
-func applyFaultInjection(mode string) {
+func applyFaultInjection(mode string, logger *slog.Logger) {
 	switch mode {
 	case "":
 	case "panic-once":
@@ -62,17 +66,33 @@ func applyFaultInjection(mode string) {
 				once.Do(func() { panic("RASENGAN_FAULT=panic-once injected panic") })
 			}
 		})
-		log.Print("fault injection armed: panic-once")
+		logger.Info("fault injection armed", "mode", "panic-once")
 	case "slow-iteration":
 		core.SetFaultHook(func(stage string) {
 			if stage == core.FaultIteration {
 				time.Sleep(5 * time.Millisecond)
 			}
 		})
-		log.Print("fault injection armed: slow-iteration")
+		logger.Info("fault injection armed", "mode", "slow-iteration")
 	default:
-		log.Fatalf("unknown RASENGAN_FAULT mode %q (known: panic-once, slow-iteration)", mode)
+		logger.Error("unknown RASENGAN_FAULT mode (known: panic-once, slow-iteration)", "mode", mode)
+		os.Exit(1)
 	}
+}
+
+// debugHandler builds the opt-in diagnostics mux: net/http/pprof plus
+// expvar. It is only ever bound to -debug-addr — never merged into the
+// public API handler, so profiles and process internals stay off the
+// serving port.
+func debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }
 
 func main() {
@@ -81,6 +101,7 @@ func main() {
 
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
+		debugAddr = flag.String("debug-addr", "", "optional diagnostics listener (net/http/pprof + /debug/vars); bind to localhost")
 		queueCap  = flag.Int("queue", 64, "job queue capacity (full queue answers 429)")
 		executors = flag.Int("executors", 2, "jobs solved concurrently (each fans onto the shared worker pool)")
 		cacheSize = flag.Int("cache", 256, "result-cache entries (negative disables caching)")
@@ -92,22 +113,31 @@ func main() {
 	wf := parallel.AddFlags(flag.CommandLine)
 	flag.Parse()
 
+	// One structured JSON log stream for the process and the service: job
+	// lifecycle records (job_id/spec_hash fields) interleave with server
+	// lifecycle records and stay machine-parseable.
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	if _, err := wf.Apply(); err != nil {
-		log.Fatal(err)
+		fatal("invalid workers flag", "error", err.Error())
 	}
 	if *queueCap < 1 {
-		log.Fatalf("-queue must be >= 1 (got %d)", *queueCap)
+		fatal("-queue must be >= 1", "got", *queueCap)
 	}
 	if *executors < 1 {
-		log.Fatalf("-executors must be >= 1 (got %d)", *executors)
+		fatal("-executors must be >= 1", "got", *executors)
 	}
 	if *maxIter < 1 {
-		log.Fatalf("-max-iters must be >= 1 (got %d)", *maxIter)
+		fatal("-max-iters must be >= 1", "got", *maxIter)
 	}
 	if *maxVars < 1 {
-		log.Fatalf("-max-vars must be >= 1 (got %d)", *maxVars)
+		fatal("-max-vars must be >= 1", "got", *maxVars)
 	}
-	applyFaultInjection(os.Getenv("RASENGAN_FAULT"))
+	applyFaultInjection(os.Getenv("RASENGAN_FAULT"), logger)
 
 	srv := service.New(service.Config{
 		QueueCapacity:  *queueCap,
@@ -116,7 +146,18 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxIter:        *maxIter,
 		MaxVars:        *maxVars,
+		Logger:         logger,
 	})
+
+	if *debugAddr != "" {
+		dbgSrv := &http.Server{Addr: *debugAddr, Handler: debugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("debug listener up", "addr", *debugAddr)
+			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fatal("debug listener failed", "addr", *debugAddr, "error", err.Error())
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -126,8 +167,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s (queue %d, executors %d, cache %d, workers %d)",
-			*addr, *queueCap, *executors, *cacheSize, parallel.Workers())
+		logger.Info("listening", "addr", *addr, "queue", *queueCap, "executors", *executors,
+			"cache", *cacheSize, "workers", parallel.Workers())
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -136,19 +177,19 @@ func main() {
 
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		fatal("listen failed", "error", err.Error())
 	case <-sigCtx.Done():
-		log.Print("received shutdown signal, draining (accepted jobs will finish)")
+		logger.Info("received shutdown signal, draining (accepted jobs will finish)")
 	}
 	stop() // restore default handling: a second Ctrl-C kills immediately
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := srv.Drain(ctx); err != nil {
-		log.Printf("drain: %v (some jobs may be unfinished)", err)
+		logger.Warn("drain incomplete; some jobs may be unfinished", "error", err.Error())
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "error", err.Error())
 	}
-	log.Print("drained, exiting")
+	logger.Info("drained, exiting")
 }

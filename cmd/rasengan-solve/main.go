@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"os/signal"
 	"sort"
@@ -40,9 +41,10 @@ func main() {
 		iters      = flag.Int("iters", 150, "optimizer iteration budget")
 		shots      = flag.Int("shots", 0, "shots per segment (0 = exact noise-free)")
 		devName    = flag.String("device", "", "device model: kyiv, brisbane, quebec (empty = ideal)")
-		verbose    = flag.Bool("v", false, "print the full output distribution")
+		verbose    = flag.Bool("v", false, "print the full output distribution and the convergence trace")
 		draw       = flag.Bool("draw", false, "draw the first transition-operator circuit")
 		emitQASM   = flag.Bool("qasm", false, "print the first transition-operator circuit as OpenQASM 2.0")
+		traceFile  = flag.String("trace", "", "write a Chrome trace-event JSON of the solve's stage spans (open in chrome://tracing or Perfetto)")
 	)
 	wf := parallel.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -106,6 +108,28 @@ func main() {
 		}
 	}
 
+	// The exact optimum doubles as the convergence trace's ARG reference,
+	// so compute it before the solve when the instance is small enough.
+	var ref rasengan.Reference
+	refKnown := false
+	if p.N <= 24 {
+		if r, err := rasengan.ExactReference(p); err == nil {
+			ref, refKnown = r, true
+		}
+	}
+	var rec *rasengan.TraceRecorder
+	if *traceFile != "" {
+		rec = rasengan.NewTraceRecorder()
+		opts.Telemetry.Spans = rec
+	}
+	if *verbose {
+		opts.Telemetry.Convergence = true
+		if refKnown {
+			opts.Telemetry.EOpt = ref.Opt
+			opts.Telemetry.EOptKnown = true
+		}
+	}
+
 	// Ctrl-C / SIGTERM stops the solve cooperatively at the next
 	// optimizer-iteration or segment boundary instead of killing the
 	// process mid-write.
@@ -123,16 +147,47 @@ func main() {
 	fmt.Printf("best solution:  %s\n", res.BestSolution)
 	fmt.Printf("best value:     %g (%s)\n", res.BestValue, p.Sense)
 	fmt.Printf("expectation:    %g\n", res.Expectation)
-	if p.N <= 24 {
-		if ref, err := rasengan.ExactReference(p); err == nil {
-			fmt.Printf("optimum:        %g   ARG: %.4f\n", ref.Opt, rasengan.ARG(ref.Opt, res.Expectation))
-		}
+	if refKnown {
+		fmt.Printf("optimum:        %g   ARG: %.4f\n", ref.Opt, rasengan.ARG(ref.Opt, res.Expectation))
 	}
 	fmt.Printf("in-constraints: %.1f%%\n", 100*res.InConstraintsRate)
 	fmt.Printf("segments:       %d (deepest compiled depth %d)\n", res.NumSegments, res.SegmentDepth)
 	fmt.Printf("parameters:     %d transition times\n", res.NumParams)
 	fmt.Printf("latency model:  quantum %.1f ms, classical %.1f ms, compile %.1f ms\n",
 		res.Latency.QuantumMS, res.Latency.ClassicalMS, res.Latency.CompileMS)
+	if len(res.Latency.Stages) > 0 {
+		names := make([]string, 0, len(res.Latency.Stages))
+		for name := range res.Latency.Stages {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("measured stages:")
+		for _, name := range names {
+			fmt.Printf(" %s %.1fms", name, res.Latency.Stages[name])
+		}
+		fmt.Println()
+	}
+
+	if rec != nil {
+		if err := rec.WriteChromeTraceFile(*traceFile); err != nil {
+			log.Fatalf("write trace: %v", err)
+		}
+		fmt.Printf("trace:          %s (%d spans; open in chrome://tracing or https://ui.perfetto.dev)\n",
+			*traceFile, rec.Len())
+	}
+
+	if *verbose && len(res.Convergence) > 0 {
+		fmt.Println("\nconvergence (winning start):")
+		fmt.Println("  iter  best_energy     param_norm  elapsed_ms      arg")
+		for _, it := range res.Convergence {
+			argCol := "       -"
+			if !math.IsNaN(it.ARG) {
+				argCol = fmt.Sprintf("%8.4f", it.ARG)
+			}
+			fmt.Printf("  %4d  %12.6g  %12.5g  %10.2f  %s\n",
+				it.Iter, it.BestEnergy, it.ParamNorm, it.ElapsedMS, argCol)
+		}
+	}
 
 	if (*draw || *emitQASM) && len(res.Schedule.Ops) > 0 {
 		circ, err := rasengan.TransitionCircuit(res.Schedule.Ops[0].U, p.N, res.Times[0])

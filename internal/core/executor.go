@@ -4,9 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
+	"time"
 
 	"rasengan/internal/bitvec"
 	"rasengan/internal/device"
+	"rasengan/internal/obs"
 	"rasengan/internal/problems"
 	"rasengan/internal/quantum"
 	"rasengan/internal/transpile"
@@ -127,6 +130,21 @@ type Executor struct {
 	LastQuantumNS       float64
 	LastSegmentsRun     int
 	LastTerminatedEarly bool
+
+	// Telemetry sink (SetTelemetry). Kept out of ExecOptions so the
+	// canonical options fingerprint can never absorb a recorder.
+	spans     *obs.Recorder
+	spanTrack int32
+	spanRoot  obs.SpanID
+}
+
+// SetTelemetry points the executor's span output at rec (nil disables),
+// tagging every segment/sample span with the given track and parent. The
+// solver calls this per clone so concurrent starts write disjoint tracks.
+func (e *Executor) SetTelemetry(rec *obs.Recorder, track int32, parent obs.SpanID) {
+	e.spans = rec
+	e.spanTrack = track
+	e.spanRoot = parent
 }
 
 // NewExecutor compiles the schedule and fixes the segmentation.
@@ -265,13 +283,19 @@ func (e *Executor) RunCtx(ctx context.Context, t []float64, rng *rand.Rand) (map
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		segSpan := obs.NoParent
+		if e.spans.Enabled() {
+			segSpan = e.spans.Start(obs.StageSegment, e.spanTrack, e.spanRoot,
+				obs.Attr{Key: "segment", Val: strconv.Itoa(segIdx)})
+		}
 		var next map[bitvec.Vec]float64
 		var err error
 		if e.opts.Shots <= 0 && e.opts.Device == nil {
-			next, err = e.runSegmentExact(ctx, seg, t, dist)
+			next, err = e.runSegmentExact(ctx, seg, t, dist, segSpan)
 		} else {
-			next, err = e.runSegmentSampled(ctx, segIdx, seg, t, dist, rng)
+			next, err = e.runSegmentSampled(ctx, segIdx, seg, t, dist, rng, segSpan)
 		}
+		e.spans.End(segSpan)
 		if err != nil {
 			return nil, err
 		}
@@ -291,7 +315,7 @@ func (e *Executor) RunCtx(ctx context.Context, t []float64, rng *rand.Rand) (map
 // state evolves coherently through the segment, is "measured", and its
 // outcome distribution is mixed in with the incoming weight. This is the
 // Shots → ∞ limit of the sampled path.
-func (e *Executor) runSegmentExact(ctx context.Context, seg []int, t []float64, in map[bitvec.Vec]float64) (map[bitvec.Vec]float64, error) {
+func (e *Executor) runSegmentExact(ctx context.Context, seg []int, t []float64, in map[bitvec.Vec]float64, segSpan obs.SpanID) (map[bitvec.Vec]float64, error) {
 	// Model the hardware time this segment would take at the default shot
 	// budget, so latency accounting stays comparable across exact and
 	// sampled runs.
@@ -307,6 +331,10 @@ func (e *Executor) runSegmentExact(ctx context.Context, seg []int, t []float64, 
 	e.LastQuantumNS += float64(modelShots) * (segNS + d.ReadoutNS + d.ResetNS)
 	e.LastShotsUsed += modelShots
 
+	// Measurement time (probability collapse + purification) is accumulated
+	// across states and emitted as one StageSample span per segment, so the
+	// span count stays O(segments) rather than O(states).
+	var sampleDur time.Duration
 	out := map[bitvec.Vec]float64{}
 	for _, x := range sortedDistKeys(in) {
 		if err := ctx.Err(); err != nil {
@@ -317,21 +345,30 @@ func (e *Executor) runSegmentExact(ctx context.Context, seg []int, t []float64, 
 		for _, i := range seg {
 			st.ApplyTransition(e.ops[i].U, t[i])
 		}
+		mark := e.spans.Now()
 		probs := st.Probabilities()
 		for _, y := range st.Support() {
 			out[y] += w * probs[y]
 		}
+		sampleDur += e.spans.Now() - mark
 	}
+	mark := e.spans.Now()
 	if !e.opts.DisablePurify {
 		purifyDist(out, e.p)
 	}
 	normalizeDist(out)
+	if e.spans.Enabled() {
+		end := e.spans.Now()
+		sampleDur += end - mark
+		e.spans.Record(obs.StageSample, e.spanTrack, segSpan, end-sampleDur, end)
+	}
 	return out, nil
 }
 
 // runSegmentSampled is the hardware-path execution: shot allocation,
 // trajectory noise, measurement, readout error, purification.
-func (e *Executor) runSegmentSampled(ctx context.Context, segIdx int, seg []int, t []float64, in map[bitvec.Vec]float64, rng *rand.Rand) (map[bitvec.Vec]float64, error) {
+func (e *Executor) runSegmentSampled(ctx context.Context, segIdx int, seg []int, t []float64, in map[bitvec.Vec]float64, rng *rand.Rand, segSpan obs.SpanID) (map[bitvec.Vec]float64, error) {
+	var sampleDur time.Duration // shot sampling + readout time, one span per segment
 	shots := e.opts.shotsForSegment(segIdx)
 	counts := map[bitvec.Vec]int{}
 	states := sortedDistKeys(in)
@@ -382,6 +419,7 @@ func (e *Executor) runSegmentSampled(ctx context.Context, segIdx int, seg []int,
 					e.injectOperatorNoise(st, i, rng)
 				}
 			}
+			mark := e.spans.Now()
 			sampled := st.Sample(rng, n)
 			// Sorted key order: readout flips consume rng, so map-iteration
 			// order must not leak into the run's randomness.
@@ -395,6 +433,7 @@ func (e *Executor) runSegmentSampled(ctx context.Context, segIdx int, seg []int,
 					counts[y] += c
 				}
 			}
+			sampleDur += e.spans.Now() - mark
 		}
 	}
 	if len(counts) == 0 {
@@ -410,10 +449,16 @@ func (e *Executor) runSegmentSampled(ctx context.Context, segIdx int, seg []int,
 		}
 	}
 	e.LastMeasuredShots += total
+	mark := e.spans.Now()
 	if !e.opts.DisablePurify {
 		purifyDist(out, e.p)
 	}
 	normalizeDist(out)
+	if e.spans.Enabled() {
+		end := e.spans.Now()
+		sampleDur += end - mark
+		e.spans.Record(obs.StageSample, e.spanTrack, segSpan, end-sampleDur, end)
+	}
 	return out, nil
 }
 

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"rasengan/internal/bitvec"
+	"rasengan/internal/obs"
 	"rasengan/internal/optimize"
 	"rasengan/internal/parallel"
 	"rasengan/internal/problems"
@@ -38,6 +40,50 @@ type Options struct {
 	InitialTimes []float64
 	// Seed drives all stochastic parts (sampling, noise, SPSA).
 	Seed int64
+
+	// Telemetry configures observability for this solve. It is excluded
+	// from CanonicalOptionsJSON by construction: telemetry observes the
+	// pipeline and never steers it, so two solves that differ only in
+	// Telemetry are interchangeable (and cache-key identical).
+	Telemetry TelemetryOptions
+}
+
+// TelemetryOptions switches on the solve's observability surfaces. The
+// zero value records nothing and costs only nil checks on the hot path.
+type TelemetryOptions struct {
+	// Spans, when non-nil, receives a span per pipeline stage: the solve
+	// root, basis construction, transition-Hamiltonian/schedule build,
+	// circuit compile, every optimizer iteration, every simulator segment,
+	// sampling, and the final evaluation. The recorder may be shared by
+	// concurrent solves; each solve allocates its own tracks.
+	Spans *obs.Recorder
+	// Convergence captures a per-iteration record of the winning
+	// optimizer start into Result.Convergence.
+	Convergence bool
+	// EOpt, when EOptKnown, is the instance's known optimum; convergence
+	// records then carry the running ARG |(E_opt − E_best)/E_opt|.
+	EOpt      float64
+	EOptKnown bool
+}
+
+// IterationTelemetry is one per-iteration convergence record. Everything
+// except ElapsedMS is a deterministic function of (problem, options):
+// identical solves produce identical traces at any worker count.
+type IterationTelemetry struct {
+	// Start is the multi-start index the record belongs to.
+	Start int `json:"start"`
+	// Iter is the 0-based optimizer iteration within that start.
+	Iter int `json:"iter"`
+	// BestEnergy is the best objective expectation seen so far.
+	BestEnergy float64 `json:"best_energy"`
+	// ARG is the running approximation-ratio gap against the known
+	// optimum; NaN when no optimum was supplied (see TelemetryOptions).
+	ARG float64 `json:"-"`
+	// ParamNorm is the L2 norm of the best evolution-time vector so far.
+	ParamNorm float64 `json:"param_norm"`
+	// ElapsedMS is wall time since the start's optimizer began — the only
+	// nondeterministic field.
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
 // LatencyBreakdown models end-to-end training time (Figure 12/13).
@@ -45,6 +91,11 @@ type LatencyBreakdown struct {
 	QuantumMS   float64 // modeled circuit execution + readout over all evals
 	ClassicalMS float64 // optimizer + purification + bookkeeping (modeled)
 	CompileMS   float64 // measured basis/schedule/compile time
+
+	// Stages is the measured wall-time per pipeline stage in milliseconds,
+	// aggregated from the solve's spans (obs stage names as keys). Nil
+	// unless Options.Telemetry.Spans was set.
+	Stages map[string]float64 `json:"stages,omitempty"`
 }
 
 // TotalMS returns the full training latency.
@@ -85,6 +136,10 @@ type Result struct {
 	Basis    *Basis
 	Schedule *Schedule
 	Times    []float64
+
+	// Convergence holds the per-iteration telemetry of the winning
+	// optimizer start; nil unless Options.Telemetry.Convergence was set.
+	Convergence []IterationTelemetry
 }
 
 // Solve runs the full Rasengan pipeline on p.
@@ -113,16 +168,33 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 		return nil, e
 	}
 
+	// Spans are nil-safe throughout: with telemetry off, rec is nil and
+	// every call below is a no-op nil check.
+	rec := opts.Telemetry.Spans
+	mainTrack := int32(0)
+	root := obs.NoParent
+	if rec.Enabled() {
+		mainTrack = rec.Track("solve " + p.Name)
+		root = rec.Start(obs.StageSolve, mainTrack, obs.NoParent, obs.Attr{Key: "problem", Val: p.Name})
+	}
+	defer rec.End(root) // idempotent: also fires on error returns
+
 	compileStart := time.Now()
+	sp := rec.Start(obs.StageBasis, mainTrack, root)
 	basis, err := BuildBasis(p, opts.Basis)
+	rec.End(sp)
 	if err != nil {
 		return nil, err
 	}
+	sp = rec.Start(obs.StageHamiltonian, mainTrack, root)
 	sched := BuildSchedule(p, basis, opts.Schedule)
+	rec.End(sp)
 	if len(sched.Ops) == 0 {
 		return nil, fmt.Errorf("core: %s: schedule pruned to nothing", p.Name)
 	}
+	sp = rec.Start(obs.StageCircuit, mainTrack, root)
 	exec, err := NewExecutor(p, sched.Ops, opts.Exec)
+	rec.End(sp)
 	if err != nil {
 		return nil, err
 	}
@@ -169,8 +241,23 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 		lastGood  map[bitvec.Vec]float64
 	}
 	outcomes := make([]startOutcome, len(starts))
+	// Tracks are allocated up front, before the pool fans out, so track ids
+	// are a deterministic function of the start index regardless of which
+	// worker runs which start first.
+	startTracks := make([]int32, len(starts))
+	for i := range startTracks {
+		startTracks[i] = mainTrack
+	}
+	if rec.Enabled() {
+		for i := range starts {
+			startTracks[i] = rec.Track("start " + strconv.Itoa(i))
+		}
+	}
+	telemetryOn := rec.Enabled() || opts.Telemetry.Convergence
+	convs := make([][]IterationTelemetry, len(starts))
 	parallel.For(len(starts), func(i int) {
 		ex := exec.Clone()
+		ex.SetTelemetry(rec, startTracks[i], root)
 		srng := parallel.NewRand(opts.Seed+7, uint64(i))
 		o := &outcomes[i]
 		objective := func(t []float64) float64 {
@@ -194,13 +281,44 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 			}
 			return e
 		}
-		o.res = optimize.Minimize(opts.Optimizer, objective, starts[i], optimize.Options{
+		oopts := optimize.Options{
 			MaxIter:  perStart,
 			MaxEvals: opts.MaxEvals,
 			Step:     math.Pi / 8,
 			Seed:     opts.Seed + int64(i),
 			Ctx:      ctx,
-		})
+		}
+		if telemetryOn {
+			// The hook observes iteration boundaries: a span from the previous
+			// boundary to now, and a convergence record of the running best.
+			// It reads only values the optimizer already computed, so wiring
+			// it cannot change the run (see optimize.Options.OnIteration).
+			wallStart := time.Now()
+			lastMark := rec.Now()
+			oopts.OnIteration = func(iter int, bestF float64, bestX []float64) {
+				if rec.Enabled() {
+					now := rec.Now()
+					rec.Record(obs.StageIteration, startTracks[i], root, lastMark, now,
+						obs.Attr{Key: "iter", Val: strconv.Itoa(iter)})
+					lastMark = now
+				}
+				if opts.Telemetry.Convergence {
+					it := IterationTelemetry{
+						Start:      i,
+						Iter:       iter,
+						BestEnergy: bestF,
+						ARG:        math.NaN(),
+						ParamNorm:  l2norm(bestX),
+						ElapsedMS:  float64(time.Since(wallStart).Microseconds()) / 1000,
+					}
+					if opts.Telemetry.EOptKnown && opts.Telemetry.EOpt != 0 {
+						it.ARG = math.Abs((opts.Telemetry.EOpt - bestF) / opts.Telemetry.EOpt)
+					}
+					convs[i] = append(convs[i], it)
+				}
+			}
+		}
+		o.res = optimize.Minimize(opts.Optimizer, objective, starts[i], oopts)
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -224,8 +342,11 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 
 	// Final evaluation at the optimizer's best parameters to produce the
 	// reported distribution and in-constraints accounting.
+	exec.SetTelemetry(rec, mainTrack, root)
 	finalRng := parallel.NewRand(opts.Seed+7, uint64(len(starts)))
+	sp = rec.Start(obs.StageFinalEval, mainTrack, root)
 	finalDist, err := exec.RunCtx(ctx, res.X, finalRng)
+	rec.End(sp)
 	quantumNS += exec.LastQuantumNS
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
@@ -301,7 +422,29 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 		ClassicalMS: float64(evalCount+1) * classicalPerEval,
 		CompileMS:   compileMS,
 	}
+	if opts.Telemetry.Convergence {
+		out.Convergence = convs[best]
+	}
+	if rec.Enabled() {
+		// Close the root now (End is idempotent; the deferred End becomes a
+		// no-op) so it counts in the per-stage totals.
+		rec.End(root)
+		out.Latency.Stages = make(map[string]float64)
+		tracks := append([]int32{mainTrack}, startTracks...)
+		for stage, d := range rec.StageTotals(tracks...) {
+			out.Latency.Stages[stage] = float64(d.Microseconds()) / 1000
+		}
+	}
 	return out, nil
+}
+
+// l2norm returns the Euclidean norm of v.
+func l2norm(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
 }
 
 func constVec(n int, v float64) []float64 {

@@ -52,7 +52,7 @@ func Ablation(cfg Config) (*AblationResult, error) {
 				if err != nil {
 					return metrics.Summary{}, 0, 0, err
 				}
-				opts := core.Options{MaxIter: cfg.MaxIter, Seed: cfg.Seed + int64(c)}
+				opts := core.Options{MaxIter: cfg.MaxIter, Seed: cfg.Seed + int64(c), Telemetry: cfg.telemetry()}
 				mutate(&opts)
 				res, err := core.Solve(cfg.ctx(), p, opts)
 				if err != nil {

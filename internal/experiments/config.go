@@ -18,6 +18,7 @@ import (
 	"rasengan/internal/core"
 	"rasengan/internal/device"
 	"rasengan/internal/metrics"
+	"rasengan/internal/obs"
 	"rasengan/internal/parallel"
 	"rasengan/internal/problems"
 )
@@ -54,6 +55,17 @@ type Config struct {
 	// flight stop at their next iteration boundary and remaining cases
 	// report the context's error. Nil means no cancellation.
 	Ctx context.Context
+	// Spans, when non-nil, receives stage spans from every Rasengan solve
+	// an experiment runs (one shared recorder; each solve allocates its
+	// own tracks, so concurrent cases stay untangled). Wired by
+	// rasengan-bench -trace.
+	Spans *obs.Recorder
+}
+
+// telemetry returns the solver telemetry options the experiments attach
+// to every Rasengan solve.
+func (c Config) telemetry() core.TelemetryOptions {
+	return core.TelemetryOptions{Spans: c.Spans}
 }
 
 // ctx returns the configured context, defaulting to Background.
@@ -131,6 +143,7 @@ func runAlgorithm(algo string, p *problems.Problem, ref problems.Reference, cfg 
 				Device:       dev,
 				Trajectories: cfg.Trajectories,
 			},
+			Telemetry: cfg.telemetry(),
 		})
 		if err != nil {
 			out.Err = err

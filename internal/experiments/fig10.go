@@ -92,10 +92,11 @@ func Fig10(cfg Config, maxPoints int) (*Fig10Result, error) {
 
 		// Noise-free ARG with shot sampling.
 		res, err := core.Solve(cfg.ctx(), p, core.Options{
-			MaxIter:  cfg.MaxIter,
-			Seed:     cfg.Seed,
-			Schedule: core.ScheduleOptions{MaxTrackedStates: 20000},
-			Exec:     core.ExecOptions{Shots: shots},
+			MaxIter:   cfg.MaxIter,
+			Seed:      cfg.Seed,
+			Schedule:  core.ScheduleOptions{MaxTrackedStates: 20000},
+			Exec:      core.ExecOptions{Shots: shots},
+			Telemetry: cfg.telemetry(),
 		})
 		if err != nil {
 			pt.NoiseFreeFail = true
@@ -105,10 +106,11 @@ func Fig10(cfg Config, maxPoints int) (*Fig10Result, error) {
 
 		// Noisy ARG on the Quebec model.
 		nres, err := core.Solve(cfg.ctx(), p, core.Options{
-			MaxIter:  cfg.MaxIter / 2,
-			Seed:     cfg.Seed + 1,
-			Schedule: core.ScheduleOptions{MaxTrackedStates: 20000},
-			Exec:     core.ExecOptions{Shots: shots, Device: quebec, Trajectories: cfg.Trajectories},
+			MaxIter:   cfg.MaxIter / 2,
+			Seed:      cfg.Seed + 1,
+			Schedule:  core.ScheduleOptions{MaxTrackedStates: 20000},
+			Exec:      core.ExecOptions{Shots: shots, Device: quebec, Trajectories: cfg.Trajectories},
+			Telemetry: cfg.telemetry(),
 		})
 		if err != nil {
 			pt.NoisyFailed = true

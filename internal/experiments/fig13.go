@@ -54,6 +54,7 @@ func Fig13(cfg Config) (*Fig13Result, error) {
 				Device:        dev,
 				Trajectories:  cfg.Trajectories,
 			},
+			Telemetry: cfg.telemetry(),
 		})
 		pt := Fig13Point{Segments: segments}
 		if err != nil {

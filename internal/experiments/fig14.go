@@ -121,9 +121,10 @@ func fig14Sweep(cfg Config, cases []*problems.Problem, dev *device.Device, seedO
 			return
 		}
 		res, err := core.Solve(cfg.ctx(), p, core.Options{
-			MaxIter: cfg.MaxIter,
-			Seed:    cfg.Seed + seedOffset + int64(i),
-			Exec:    core.ExecOptions{Shots: cfg.Shots, Device: dev, Trajectories: cfg.Trajectories},
+			MaxIter:   cfg.MaxIter,
+			Seed:      cfg.Seed + seedOffset + int64(i),
+			Exec:      core.ExecOptions{Shots: cfg.Shots, Device: dev, Trajectories: cfg.Trajectories},
+			Telemetry: cfg.telemetry(),
 		})
 		if err != nil {
 			outs[i].failed = true

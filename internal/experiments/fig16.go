@@ -92,6 +92,7 @@ func Fig16(cfg Config) (*Fig16Result, error) {
 							DisableSegmentation: !variant.Segment,
 							DisablePurify:       !variant.Purify,
 						},
+						Telemetry: cfg.telemetry(),
 					})
 					if err != nil {
 						cell.Failures++

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // This file is the operational-metrics half of the package: a minimal
@@ -16,7 +17,9 @@ import (
 // counters, gauges, and fixed-bucket histograms — with optional label
 // pairs per child. Stdlib only; the exposition output is deterministic
 // (families sorted by name, children by label string) so tests can
-// compare it byte-for-byte.
+// compare it byte-for-byte. Counters and gauges are lock-free (a CAS
+// loop over the value's float bits), so hot-path instrumentation like
+// per-span stage observations never contends on a registry mutex.
 
 // Registry holds named metric families and renders them as Prometheus
 // text. The zero value is not usable; call NewRegistry.
@@ -27,20 +30,43 @@ type Registry struct {
 
 type family struct {
 	name, help, kind string
-	children         map[string]*child // key: rendered label string, "" for unlabeled
+	children         map[string]*child // key: rendered label body, "" for unlabeled
 }
 
 type child struct {
-	mu     sync.Mutex
-	labels string
-	value  float64 // counter / gauge value
-	fn     func() float64
+	labels string // label body without braces, e.g. `code="200"`
 
-	// histogram state
+	// bits holds the counter/gauge value as Float64bits; all updates go
+	// through atomic CAS so readers never see torn floats.
+	bits atomic.Uint64
+	// fn, when set, supplies the gauge value at exposition time.
+	fn atomic.Pointer[func() float64]
+
+	// histogram state, guarded by hmu.
+	hmu    sync.Mutex
 	bounds []float64 // ascending upper bounds, +Inf implicit
 	counts []uint64  // one per bound, plus the +Inf bucket at the end
 	sum    float64
 	count  uint64
+}
+
+// scalar returns the current counter/gauge reading.
+func (c *child) scalar() float64 {
+	if fn := c.fn.Load(); fn != nil {
+		return (*fn)()
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// addScalar atomically adds delta to the float value.
+func (c *child) addScalar(delta float64) {
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // NewRegistry returns an empty registry.
@@ -71,9 +97,10 @@ func (f *family) child(labels [][2]string) *child {
 	return c
 }
 
-// renderLabels produces the canonical {k="v",...} body with keys in the
-// order given by the caller (callers pass a fixed order, keeping series
-// identity stable).
+// renderLabels produces the canonical k="v",... label body with keys in
+// the order given by the caller (callers pass a fixed order, keeping
+// series identity stable). Values are escaped per the text format (%q
+// yields the required \", \\, and \n escapes).
 func renderLabels(labels [][2]string) string {
 	if len(labels) == 0 {
 		return ""
@@ -82,7 +109,15 @@ func renderLabels(labels [][2]string) string {
 	for i, kv := range labels {
 		parts[i] = fmt.Sprintf("%s=%q", kv[0], kv[1])
 	}
-	return "{" + strings.Join(parts, ",") + "}"
+	return strings.Join(parts, ",")
+}
+
+// braced wraps a non-empty label body for exposition.
+func braced(body string) string {
+	if body == "" {
+		return ""
+	}
+	return "{" + body + "}"
 }
 
 // Counter is a monotonically increasing value.
@@ -112,27 +147,28 @@ func (c Counter) Add(delta float64) {
 	if delta < 0 {
 		return
 	}
-	c.c.mu.Lock()
-	c.c.value += delta
-	c.c.mu.Unlock()
+	c.c.addScalar(delta)
 }
 
 // Value returns the current count.
-func (c Counter) Value() float64 {
-	c.c.mu.Lock()
-	defer c.c.mu.Unlock()
-	return c.c.value
-}
+func (c Counter) Value() float64 { return c.c.scalar() }
 
-// Gauge is a value that can go up and down.
+// Gauge is a value that can go up and down. All mutators are atomic, so
+// concurrent Inc/Dec pairs (queue enter/leave, solve start/stop) never
+// lose updates.
 type Gauge struct{ c *child }
 
 // Gauge returns the unlabeled gauge of the family.
 func (r *Registry) Gauge(name, help string) Gauge {
+	return r.GaugeWith(name, help)
+}
+
+// GaugeWith returns the gauge child with the given ordered label pairs.
+func (r *Registry) GaugeWith(name, help string, labels ...[2]string) Gauge {
 	f := r.family(name, help, "gauge")
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return Gauge{f.child(nil)}
+	return Gauge{f.child(labels)}
 }
 
 // GaugeFunc registers a gauge whose value is read from fn at exposition
@@ -141,32 +177,23 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	f := r.family(name, help, "gauge")
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	f.child(nil).fn = fn
+	f.child(nil).fn.Store(&fn)
 }
 
 // Set replaces the gauge value.
-func (g Gauge) Set(v float64) {
-	g.c.mu.Lock()
-	g.c.value = v
-	g.c.mu.Unlock()
-}
+func (g Gauge) Set(v float64) { g.c.bits.Store(math.Float64bits(v)) }
 
 // Add shifts the gauge value.
-func (g Gauge) Add(delta float64) {
-	g.c.mu.Lock()
-	g.c.value += delta
-	g.c.mu.Unlock()
-}
+func (g Gauge) Add(delta float64) { g.c.addScalar(delta) }
+
+// Inc adds one.
+func (g Gauge) Inc() { g.c.addScalar(1) }
+
+// Dec subtracts one.
+func (g Gauge) Dec() { g.c.addScalar(-1) }
 
 // Value returns the current gauge reading.
-func (g Gauge) Value() float64 {
-	g.c.mu.Lock()
-	defer g.c.mu.Unlock()
-	if g.c.fn != nil {
-		return g.c.fn()
-	}
-	return g.c.value
-}
+func (g Gauge) Value() float64 { return g.c.scalar() }
 
 // Histogram accumulates observations into fixed buckets.
 type Histogram struct{ c *child }
@@ -179,10 +206,18 @@ var DefBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2
 // ascending upper bounds (nil means DefBuckets). Bounds are fixed at
 // first registration.
 func (r *Registry) Histogram(name, help string, bounds []float64) Histogram {
+	return r.HistogramWith(name, help, bounds)
+}
+
+// HistogramWith returns the histogram child with the given ordered label
+// pairs — e.g. HistogramWith("rasengan_stage_duration_seconds", "...",
+// nil, [2]string{"stage", "basis"}). Each child's bounds are fixed when
+// that child is first created.
+func (r *Registry) HistogramWith(name, help string, bounds []float64, labels ...[2]string) Histogram {
 	f := r.family(name, help, "histogram")
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c := f.child(nil)
+	c := f.child(labels)
 	if c.counts == nil {
 		if bounds == nil {
 			bounds = DefBuckets
@@ -198,8 +233,8 @@ func (r *Registry) Histogram(name, help string, bounds []float64) Histogram {
 
 // Observe records one sample.
 func (h Histogram) Observe(v float64) {
-	h.c.mu.Lock()
-	defer h.c.mu.Unlock()
+	h.c.hmu.Lock()
+	defer h.c.hmu.Unlock()
 	i := sort.SearchFloat64s(h.c.bounds, v)
 	h.c.counts[i]++
 	h.c.sum += v
@@ -208,13 +243,16 @@ func (h Histogram) Observe(v float64) {
 
 // Count returns the number of observations so far.
 func (h Histogram) Count() uint64 {
-	h.c.mu.Lock()
-	defer h.c.mu.Unlock()
+	h.c.hmu.Lock()
+	defer h.c.hmu.Unlock()
 	return h.c.count
 }
 
 // WriteText renders every registered family in Prometheus text format,
-// families sorted by name and children by label string.
+// families sorted by name and children by label string. The family and
+// child sets are snapshotted under the registry lock, then values are
+// read atomically (scalars) or under the per-child histogram lock, so a
+// scrape racing live instrumentation sees a consistent line per series.
 func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
@@ -258,32 +296,32 @@ func (r *Registry) WriteText(w io.Writer) error {
 }
 
 func (c *child) writeText(w io.Writer, f *family) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	switch f.kind {
 	case "histogram":
+		c.hmu.Lock()
+		defer c.hmu.Unlock()
+		prefix := c.labels
+		if prefix != "" {
+			prefix += ","
+		}
 		cum := uint64(0)
 		for i, b := range c.bounds {
 			cum += c.counts[i]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", f.name, formatFloat(b), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", f.name, prefix, formatFloat(b), cum); err != nil {
 				return err
 			}
 		}
 		cum += c.counts[len(c.bounds)]
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", f.name, cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", f.name, prefix, cum); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n", f.name, formatFloat(c.sum)); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, braced(c.labels), formatFloat(c.sum)); err != nil {
 			return err
 		}
-		_, err := fmt.Fprintf(w, "%s_count %d\n", f.name, c.count)
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, braced(c.labels), c.count)
 		return err
 	default:
-		v := c.value
-		if c.fn != nil {
-			v = c.fn()
-		}
-		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, c.labels, formatFloat(v))
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, braced(c.labels), formatFloat(c.scalar()))
 		return err
 	}
 }

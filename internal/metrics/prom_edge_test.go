@@ -1,0 +1,208 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Exposition edge cases: label escaping, ordering stability across
+// scrapes, and histogram bucket/_sum/_count internal consistency.
+
+func TestPromLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterWith("esc_total", "Escapes.",
+		[2]string{"path", `a"b`}).Inc()
+	r.CounterWith("esc_total", "Escapes.",
+		[2]string{"path", "line1\nline2"}).Inc()
+	r.CounterWith("esc_total", "Escapes.",
+		[2]string{"path", `back\slash`}).Inc()
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		`esc_total{path="a\"b"} 1`,
+		`esc_total{path="line1\nline2"} 1`,
+		`esc_total{path="back\\slash"} 1`,
+	} {
+		if !strings.Contains(got, want+"\n") {
+			t.Errorf("missing escaped series %q in:\n%s", want, got)
+		}
+	}
+	// The raw (unescaped) newline must never reach the wire inside a
+	// label value — it would split the series across two lines.
+	for _, line := range strings.Split(got, "\n") {
+		if strings.HasPrefix(line, "esc_total") && !strings.Contains(line, "} 1") {
+			t.Errorf("series line broken by unescaped label value: %q", line)
+		}
+	}
+}
+
+func TestPromStableOrderingAcrossScrapes(t *testing.T) {
+	r := NewRegistry()
+	// Register in an order unlike the sorted one.
+	r.Counter("z_total", "").Inc()
+	r.CounterWith("m_total", "", [2]string{"k", "b"}).Inc()
+	r.CounterWith("m_total", "", [2]string{"k", "a"}).Inc()
+	r.Gauge("a_depth", "").Set(1)
+	r.HistogramWith("h_seconds", "", []float64{1}, [2]string{"stage", "x"}).Observe(0.5)
+
+	scrape := func() string {
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	first := scrape()
+	for i := 0; i < 5; i++ {
+		if got := scrape(); got != first {
+			t.Fatalf("scrape %d differs from first:\n%s\nvs\n%s", i+1, got, first)
+		}
+	}
+	// Families sorted by name, children by label body.
+	idx := func(s string) int { return strings.Index(first, s) }
+	if !(idx("a_depth") < idx("h_seconds") && idx("h_seconds") < idx(`m_total{k="a"}`) &&
+		idx(`m_total{k="a"}`) < idx(`m_total{k="b"}`) && idx(`m_total{k="b"}`) < idx("z_total")) {
+		t.Errorf("exposition order not sorted:\n%s", first)
+	}
+}
+
+func TestPromHistogramConsistency(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramWith("lat_seconds", "Latency.", []float64{0.1, 1, 10},
+		[2]string{"stage", "segment"})
+	samples := []float64{0.05, 0.1, 0.5, 2, 50, 100}
+	sum := 0.0
+	for _, v := range samples {
+		h.Observe(v)
+		sum += v
+	}
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	// Buckets are cumulative; a bound equal to the sample counts it
+	// (le is inclusive); +Inf equals _count; _sum is the exact total.
+	for _, want := range []string{
+		`lat_seconds_bucket{stage="segment",le="0.1"} 2`,
+		`lat_seconds_bucket{stage="segment",le="1"} 3`,
+		`lat_seconds_bucket{stage="segment",le="10"} 4`,
+		`lat_seconds_bucket{stage="segment",le="+Inf"} 6`,
+		`lat_seconds_sum{stage="segment"} 152.65`,
+		`lat_seconds_count{stage="segment"} 6`,
+	} {
+		if !strings.Contains(got, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestPromHistogramLabeledChildrenIndependent(t *testing.T) {
+	r := NewRegistry()
+	a := r.HistogramWith("st_seconds", "", []float64{1}, [2]string{"stage", "basis"})
+	b := r.HistogramWith("st_seconds", "", []float64{1}, [2]string{"stage", "circuit"})
+	a.Observe(0.5)
+	a.Observe(2)
+	b.Observe(0.25)
+	if a.Count() != 2 || b.Count() != 1 {
+		t.Fatalf("labeled histogram children shared state: %d/%d", a.Count(), b.Count())
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.Contains(got, `st_seconds_count{stage="basis"} 2`+"\n") ||
+		!strings.Contains(got, `st_seconds_count{stage="circuit"} 1`+"\n") {
+		t.Errorf("per-stage histogram children not exposed independently:\n%s", got)
+	}
+}
+
+func TestGaugeIncDec(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if g.Value() != 1 {
+		t.Errorf("Inc/Inc/Dec = %g, want 1", g.Value())
+	}
+	g.Set(-2.5)
+	g.Add(0.5)
+	if g.Value() != -2 {
+		t.Errorf("Set/Add = %g, want -2", g.Value())
+	}
+}
+
+func TestGaugeWithLabels(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeWith("pool_busy", "", [2]string{"pool", "solve"}).Set(3)
+	r.GaugeWith("pool_busy", "", [2]string{"pool", "io"}).Set(1)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.Contains(got, `pool_busy{pool="io"} 1`+"\n") ||
+		!strings.Contains(got, `pool_busy{pool="solve"} 3`+"\n") {
+		t.Errorf("labeled gauges missing:\n%s", got)
+	}
+}
+
+// TestGaugeConcurrentIncDec proves the atomic CAS loop loses no updates:
+// balanced Inc/Dec from many goroutines must return the gauge to zero.
+func TestGaugeConcurrentIncDec(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("conc_depth", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5000; j++ {
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 0 {
+		t.Errorf("balanced concurrent Inc/Dec left gauge at %g", g.Value())
+	}
+}
+
+// TestGaugeFuncRacesScrape registers a live gauge while scrapes are in
+// flight; under -race this pins down the atomic fn handoff.
+func TestGaugeFuncRacesScrape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("warmup_total", "").Inc()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			var sb strings.Builder
+			_ = r.WriteText(&sb)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			r.GaugeFunc("live_depth", "", func() float64 { return 4 })
+		}
+	}()
+	wg.Wait()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "live_depth 4\n") {
+		t.Errorf("GaugeFunc value missing after concurrent registration:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic monotone clock for tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Duration
+}
+
+func (c *fakeClock) now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t += d
+	c.mu.Unlock()
+}
+
+func TestStartEndWithInjectedClock(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRecorderWithClock(clk.now)
+
+	root := r.Start(StageSolve, 0, NoParent)
+	clk.advance(10 * time.Millisecond)
+	child := r.Start(StageBasis, 0, root, Attr{Key: "problem", Val: "FLP_1"})
+	clk.advance(5 * time.Millisecond)
+	r.End(child)
+	clk.advance(20 * time.Millisecond)
+	r.End(root)
+
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != StageSolve || spans[0].Start != 0 || spans[0].End != 35*time.Millisecond {
+		t.Errorf("root span = %+v", spans[0])
+	}
+	if spans[1].Name != StageBasis || spans[1].Start != 10*time.Millisecond || spans[1].End != 15*time.Millisecond {
+		t.Errorf("child span = %+v", spans[1])
+	}
+	if spans[1].Parent != root {
+		t.Errorf("child parent = %d, want %d", spans[1].Parent, root)
+	}
+	if len(spans[1].Attrs) != 1 || spans[1].Attrs[0].Key != "problem" {
+		t.Errorf("child attrs = %v", spans[1].Attrs)
+	}
+	if d := spans[1].Duration(); d != 5*time.Millisecond {
+		t.Errorf("child duration = %v, want 5ms", d)
+	}
+}
+
+func TestEndIsIdempotentAndBoundsChecked(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRecorderWithClock(clk.now)
+	id := r.Start("x", 0, NoParent)
+	clk.advance(time.Millisecond)
+	r.End(id)
+	clk.advance(time.Hour)
+	r.End(id)        // second End must not move the boundary
+	r.End(SpanID(5)) // out of range: no-op
+	r.End(NoParent)  // invalid: no-op
+	if got := r.Spans()[0].End; got != time.Millisecond {
+		t.Errorf("End after re-End = %v, want 1ms", got)
+	}
+}
+
+func TestOpenSpansExcludedFromTotals(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRecorderWithClock(clk.now)
+	open := r.Start("open", 0, NoParent)
+	r.Record("closed", 0, NoParent, 0, 7*time.Millisecond)
+	totals := r.StageTotals()
+	if _, ok := totals["open"]; ok {
+		t.Error("open span leaked into StageTotals")
+	}
+	if totals["closed"] != 7*time.Millisecond {
+		t.Errorf("closed total = %v, want 7ms", totals["closed"])
+	}
+	if d := r.Spans()[0].Duration(); d != 0 {
+		t.Errorf("open span duration = %v, want 0", d)
+	}
+	r.End(open)
+}
+
+func TestRecordClampsInvertedInterval(t *testing.T) {
+	r := NewRecorderWithClock((&fakeClock{}).now)
+	r.Record("backwards", 0, NoParent, 10*time.Millisecond, 2*time.Millisecond)
+	s := r.Spans()[0]
+	if s.End != s.Start {
+		t.Errorf("inverted interval not clamped: %+v", s)
+	}
+}
+
+func TestStageTotalsFiltersByTrack(t *testing.T) {
+	r := NewRecorderWithClock((&fakeClock{}).now)
+	t1 := r.Track("start 0")
+	t2 := r.Track("start 1")
+	r.Record(StageIteration, t1, NoParent, 0, 3*time.Millisecond)
+	r.Record(StageIteration, t2, NoParent, 0, 5*time.Millisecond)
+	r.Record(StageSegment, t1, NoParent, 0, 2*time.Millisecond)
+
+	all := r.StageTotals()
+	if all[StageIteration] != 8*time.Millisecond {
+		t.Errorf("unfiltered iteration total = %v, want 8ms", all[StageIteration])
+	}
+	only1 := r.StageTotals(t1)
+	if only1[StageIteration] != 3*time.Millisecond || only1[StageSegment] != 2*time.Millisecond {
+		t.Errorf("track-filtered totals = %v", only1)
+	}
+	if _, ok := r.StageTotals(t2)[StageSegment]; ok {
+		t.Error("track filter leaked a foreign span")
+	}
+}
+
+func TestTrackAllocation(t *testing.T) {
+	r := NewRecorder()
+	if got := r.Track("a"); got != 1 {
+		t.Errorf("first allocated track = %d, want 1", got)
+	}
+	if got := r.Track("b"); got != 2 {
+		t.Errorf("second allocated track = %d, want 2", got)
+	}
+	names := r.TrackNames()
+	if len(names) != 3 || names[0] != "main" || names[2] != "b" {
+		t.Errorf("track names = %v", names)
+	}
+}
+
+// TestNilRecorderIsSafe locks in the contract instrumentation sites rely
+// on: a disabled pipeline calls every method on nil without guards.
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Error("nil recorder reports Enabled")
+	}
+	if r.Now() != 0 {
+		t.Error("nil Now != 0")
+	}
+	if id := r.Start("x", r.Track("t"), NoParent); id != NoParent {
+		t.Errorf("nil Start = %d, want NoParent", id)
+	}
+	r.End(0)
+	r.Record("x", 0, NoParent, 0, time.Second)
+	if r.Len() != 0 || r.Spans() != nil || r.StageTotals() != nil || r.TrackNames() != nil {
+		t.Error("nil recorder accumulated state")
+	}
+}
+
+// TestConcurrentRecording exercises the recorder from many goroutines;
+// run under -race it proves the locking discipline.
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder()
+	const goroutines = 8
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			track := r.Track("worker")
+			for i := 0; i < perG; i++ {
+				id := r.Start(StageSegment, track, NoParent)
+				r.End(id)
+				r.Record(StageSample, track, id, r.Now(), r.Now())
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Len(); got != goroutines*perG*2 {
+		t.Errorf("recorded %d spans, want %d", got, goroutines*perG*2)
+	}
+	totals := r.StageTotals()
+	if _, ok := totals[StageSegment]; !ok {
+		t.Error("no segment totals after concurrent recording")
+	}
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// Chrome trace-event export: the recorded spans rendered in the Trace
+// Event Format (the JSON that chrome://tracing, Perfetto, and speedscope
+// load). Every span becomes one complete ("ph":"X") event; tracks map to
+// thread ids with thread_name metadata so each optimizer start gets its
+// own lane.
+
+// traceEvent is one entry of the traceEvents array.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int32          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// tracePID is the single logical process all events report under.
+const tracePID = 1
+
+// WriteChromeTrace renders every closed span as Chrome trace-event JSON.
+// Events are emitted in (track, start) order so the output is
+// deterministic for a given span set; still-open spans are skipped.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	spans := r.Spans()
+	order := make([]int, 0, len(spans))
+	for i, s := range spans {
+		if s.End >= 0 {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := spans[order[a]], spans[order[b]]
+		if sa.Track != sb.Track {
+			return sa.Track < sb.Track
+		}
+		if sa.Start != sb.Start {
+			return sa.Start < sb.Start
+		}
+		// Parents open before children at equal timestamps; recording
+		// order breaks remaining ties.
+		return order[a] < order[b]
+	})
+
+	events := make([]traceEvent, 0, len(order)+len(r.TrackNames()))
+	for tid, name := range r.TrackNames() {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: tracePID, Tid: int32(tid),
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, i := range order {
+		s := spans[i]
+		ev := traceEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   durUS(s.Start),
+			Dur:  durUS(s.End - s.Start),
+			Pid:  tracePID,
+			Tid:  s.Track,
+		}
+		if len(s.Attrs) > 0 {
+			ev.Args = make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				ev.Args[a.Key] = a.Val
+			}
+		}
+		events = append(events, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+}
+
+// WriteChromeTraceFile writes the trace to path (0644), creating or
+// truncating it.
+func (r *Recorder) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: create trace file: %w", err)
+	}
+	werr := r.WriteChromeTrace(f)
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("obs: write trace: %w", werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("obs: close trace file: %w", cerr)
+	}
+	return nil
+}
+
+// durUS converts a duration to trace-format microseconds.
+func durUS(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e3
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// decodeTrace parses writer output back into the generic trace shape.
+func decodeTrace(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var doc struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	return doc.TraceEvents
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRecorderWithClock(clk.now)
+	track := r.Track("start 0")
+	root := r.Start(StageSolve, 0, NoParent)
+	clk.advance(2 * time.Millisecond)
+	r.Record(StageIteration, track, root, time.Millisecond, 2*time.Millisecond,
+		Attr{Key: "iter", Val: "0"})
+	clk.advance(time.Millisecond)
+	r.End(root)
+	open := r.Start("never-ends", 0, root)
+	_ = open
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+
+	var metas, complete int
+	byName := map[string]map[string]any{}
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "M":
+			metas++
+		case "X":
+			complete++
+			byName[ev["name"].(string)] = ev
+		}
+	}
+	if metas != 2 { // "main" + "start 0"
+		t.Errorf("thread_name metadata events = %d, want 2", metas)
+	}
+	if complete != 2 {
+		t.Errorf("complete events = %d, want 2 (open span must be skipped)", complete)
+	}
+	it, ok := byName[StageIteration]
+	if !ok {
+		t.Fatal("iteration event missing")
+	}
+	if it["ts"].(float64) != 1000 || it["dur"].(float64) != 1000 {
+		t.Errorf("iteration ts/dur = %v/%v, want 1000/1000 µs", it["ts"], it["dur"])
+	}
+	if args, ok := it["args"].(map[string]any); !ok || args["iter"] != "0" {
+		t.Errorf("iteration args = %v", it["args"])
+	}
+	if byName[StageSolve]["dur"].(float64) != 3000 {
+		t.Errorf("solve dur = %v, want 3000 µs", byName[StageSolve]["dur"])
+	}
+}
+
+// TestWriteChromeTraceDeterministic asserts byte-identical output for the
+// same span set regardless of recording interleaving concerns — events
+// are sorted by (track, start).
+func TestWriteChromeTraceDeterministic(t *testing.T) {
+	build := func(order []int) *Recorder {
+		r := NewRecorderWithClock((&fakeClock{}).now)
+		tr := r.Track("t")
+		// Record the same three spans in different call orders.
+		spans := []struct {
+			name       string
+			track      int32
+			start, end time.Duration
+		}{
+			{"a", 0, 0, time.Millisecond},
+			{"b", tr, 0, 2 * time.Millisecond},
+			{"c", tr, 3 * time.Millisecond, 4 * time.Millisecond},
+		}
+		for _, i := range order {
+			s := spans[i]
+			r.Record(s.name, s.track, NoParent, s.start, s.end)
+		}
+		return r
+	}
+	var out1, out2 bytes.Buffer
+	if err := build([]int{0, 1, 2}).WriteChromeTrace(&out1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build([]int{2, 1, 0}).WriteChromeTrace(&out2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Errorf("trace output depends on recording order:\n%s\nvs\n%s", out1.String(), out2.String())
+	}
+}
+
+func TestWriteChromeTraceFile(t *testing.T) {
+	r := NewRecorder()
+	id := r.Start(StageBasis, 0, NoParent)
+	r.End(id)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := r.WriteChromeTraceFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, data)
+	if len(events) == 0 {
+		t.Error("trace file has no events")
+	}
+}
+
+func TestWriteChromeTraceNilRecorder(t *testing.T) {
+	var r *Recorder
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if events := decodeTrace(t, buf.Bytes()); len(events) != 0 {
+		t.Errorf("nil recorder emitted %d events", len(events))
+	}
+}

@@ -1,0 +1,79 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+)
+
+// shiftedSphere is an easy convex objective every method makes progress
+// on (minimum at the all-ones point).
+func shiftedSphere(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += (v - 1) * (v - 1)
+	}
+	return s
+}
+
+func TestOnIterationObservesEveryMethod(t *testing.T) {
+	for _, m := range []Method{MethodCOBYLA, MethodNelderMead, MethodSPSA, MethodPowell} {
+		m := m
+		t.Run(string(m), func(t *testing.T) {
+			type rec struct {
+				iter  int
+				bestF float64
+			}
+			var seen []rec
+			res := Minimize(m, shiftedSphere, []float64{3, -2}, Options{
+				MaxIter: 25,
+				Seed:    1,
+				OnIteration: func(iter int, bestF float64, bestX []float64) {
+					if len(bestX) != 2 {
+						t.Fatalf("bestX has %d entries, want 2", len(bestX))
+					}
+					seen = append(seen, rec{iter, bestF})
+				},
+			})
+			if len(seen) == 0 {
+				t.Fatal("OnIteration never fired")
+			}
+			if len(seen) > 25 {
+				t.Fatalf("OnIteration fired %d times for MaxIter 25", len(seen))
+			}
+			for i := 1; i < len(seen); i++ {
+				if seen[i].iter <= seen[i-1].iter {
+					t.Errorf("iteration indices not strictly increasing: %v then %v", seen[i-1], seen[i])
+				}
+				if seen[i].bestF > seen[i-1].bestF {
+					t.Errorf("best objective regressed: %v then %v", seen[i-1], seen[i])
+				}
+			}
+			// The last reported best matches the returned result.
+			if got := seen[len(seen)-1].bestF; math.Abs(got-res.F) > 1e-12 && got > res.F {
+				t.Errorf("final reported best %g worse than result %g", got, res.F)
+			}
+		})
+	}
+}
+
+// TestOnIterationDoesNotPerturbResult locks in the observational
+// contract: the same run with and without the hook returns identical
+// parameters, value, and budgets.
+func TestOnIterationDoesNotPerturbResult(t *testing.T) {
+	for _, m := range []Method{MethodCOBYLA, MethodNelderMead, MethodSPSA, MethodPowell} {
+		base := Minimize(m, shiftedSphere, []float64{3, -2}, Options{MaxIter: 30, Seed: 7})
+		hooked := Minimize(m, shiftedSphere, []float64{3, -2}, Options{
+			MaxIter:     30,
+			Seed:        7,
+			OnIteration: func(int, float64, []float64) {},
+		})
+		if base.F != hooked.F || base.Evals != hooked.Evals || base.Iters != hooked.Iters {
+			t.Errorf("%s: hook changed the run: %+v vs %+v", m, base, hooked)
+		}
+		for i := range base.X {
+			if base.X[i] != hooked.X[i] {
+				t.Errorf("%s: hook changed X[%d]: %g vs %g", m, i, base.X[i], hooked.X[i])
+			}
+		}
+	}
+}

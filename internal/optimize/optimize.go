@@ -32,6 +32,21 @@ type Options struct {
 	// point seen so far is returned. The caller decides whether an early
 	// stop is an error (core.Solve surfaces ctx.Err()).
 	Ctx context.Context
+
+	// OnIteration, when non-nil, is invoked at the end of every optimizer
+	// iteration with the 0-based iteration index, the best objective value
+	// seen so far, and the best parameter vector so far. It is purely
+	// observational — convergence telemetry and span recording hang off
+	// it — and must not mutate bestX (the slice is borrowed; copy before
+	// retaining).
+	OnIteration func(iter int, bestF float64, bestX []float64)
+}
+
+// iterDone fires the OnIteration observer for one completed iteration.
+func (o Options) iterDone(iter int, bf *budgetFn) {
+	if o.OnIteration != nil {
+		o.OnIteration(iter, bf.bestF, bf.bestX)
+	}
 }
 
 // cancelled reports whether the run's context is done.
@@ -162,6 +177,7 @@ func NelderMead(f Objective, x0 []float64, opts Options) Result {
 				}
 			}
 		}
+		opts.iterDone(iters, bf)
 	}
 	order(pts, vals)
 	return Result{X: bf.bestX, F: bf.bestF, Evals: bf.evals, Iters: iters}
@@ -239,6 +255,7 @@ func COBYLA(f Objective, x0 []float64, opts Options) Result {
 		if nrm < 1e-15 {
 			radius *= 0.5
 			resetSimplex(bf, pts, vals, radius)
+			opts.iterDone(iters, bf)
 			continue
 		}
 		// Candidate: steepest descent step of length radius from best.
@@ -257,6 +274,7 @@ func COBYLA(f Objective, x0 []float64, opts Options) Result {
 			radius *= 0.5
 			resetSimplex(bf, pts, vals, radius)
 		}
+		opts.iterDone(iters, bf)
 	}
 	return Result{X: bf.bestX, F: bf.bestF, Evals: bf.evals, Iters: iters}
 }
@@ -322,6 +340,7 @@ func SPSA(f Objective, x0 []float64, opts Options) Result {
 			ghat := (fp - fm) / (2 * ck * delta[i])
 			x[i] -= ak * ghat
 		}
+		opts.iterDone(iters, bf)
 	}
 	bf.call(x)
 	return Result{X: bf.bestX, F: bf.bestF, Evals: bf.evals, Iters: iters}

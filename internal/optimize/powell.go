@@ -57,9 +57,11 @@ func Powell(f Objective, x0 []float64, opts Options) Result {
 			norm += disp[i] * disp[i]
 		}
 		if f0iter-fx < opts.TolF {
+			opts.iterDone(iters, bf)
 			break
 		}
 		if norm < 1e-20 {
+			opts.iterDone(iters, bf)
 			continue
 		}
 		// Powell's acceptance test for replacing a direction: probe the
@@ -80,6 +82,7 @@ func Powell(f Objective, x0 []float64, opts Options) Result {
 				dirs[dropIdx] = disp
 			}
 		}
+		opts.iterDone(iters, bf)
 	}
 	return Result{X: bf.bestX, F: bf.bestF, Evals: bf.evals, Iters: iters}
 }

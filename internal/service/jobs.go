@@ -39,6 +39,10 @@ type job struct {
 	errMsg   string
 	cached   bool
 	accepted time.Time
+	// telemetry is the winning start's convergence trace. It lives on the
+	// job, never in the result bytes: the cached payload must stay
+	// byte-identical for one key, and these records carry wall times.
+	telemetry []core.IterationTelemetry
 
 	// settled marks the job as counted in the store's retention ring;
 	// guarded by the store's mutex, not the job's.
@@ -51,12 +55,21 @@ func (j *job) snapshot() jobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return jobView{
-		ID:     j.id,
-		Status: j.status,
-		Cached: j.cached,
-		Error:  j.errMsg,
-		Result: j.result,
+		ID:        j.id,
+		Status:    j.status,
+		Cached:    j.cached,
+		Error:     j.errMsg,
+		Result:    j.result,
+		Telemetry: j.telemetry,
 	}
+}
+
+// setConvergence attaches the solve's convergence telemetry; call before
+// finish so a snapshot taken after the done signal always sees it.
+func (j *job) setConvergence(c []core.IterationTelemetry) {
+	j.mu.Lock()
+	j.telemetry = c
+	j.mu.Unlock()
 }
 
 func (j *job) setRunning() bool {
@@ -86,11 +99,12 @@ func (j *job) finish(status Status, result []byte, errMsg string) {
 
 // jobView is the externally visible snapshot of a job.
 type jobView struct {
-	ID     string `json:"job_id"`
-	Status Status `json:"status"`
-	Cached bool   `json:"cached"`
-	Error  string `json:"error,omitempty"`
-	Result []byte `json:"-"`
+	ID        string                    `json:"job_id"`
+	Status    Status                    `json:"status"`
+	Cached    bool                      `json:"cached"`
+	Error     string                    `json:"error,omitempty"`
+	Result    []byte                    `json:"-"`
+	Telemetry []core.IterationTelemetry `json:"telemetry,omitempty"`
 }
 
 // jobStore tracks jobs by id, deduplicates in-flight work by content

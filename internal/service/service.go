@@ -6,12 +6,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"time"
 
 	"rasengan/internal/core"
 	"rasengan/internal/device"
 	"rasengan/internal/metrics"
+	"rasengan/internal/obs"
 	"rasengan/internal/problems"
 )
 
@@ -46,6 +49,10 @@ type Config struct {
 	// JobRetention bounds how many terminal jobs stay queryable via
 	// GET /v1/jobs (default 1024).
 	JobRetention int
+	// Logger receives structured job-lifecycle records (accepted, running,
+	// done/failed/cancelled) with job_id/spec_hash/stage fields. Nil
+	// discards them; the serving binary passes a JSON handler.
+	Logger *slog.Logger
 	// Solve substitutes the solver implementation (tests only).
 	Solve SolveFunc
 }
@@ -75,6 +82,9 @@ func (c Config) withDefaults() Config {
 	if c.JobRetention == 0 {
 		c.JobRetention = 1024
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	if c.Solve == nil {
 		c.Solve = core.Solve
 	}
@@ -92,6 +102,8 @@ type Server struct {
 
 	problemsJSON []byte // precomputed GET /v1/problems body
 
+	log *slog.Logger
+
 	reqDuration   metrics.Histogram
 	solveDuration metrics.Histogram
 	cacheHits     metrics.Counter
@@ -99,13 +111,13 @@ type Server struct {
 	jobsSubmitted metrics.Counter
 	jobsCompleted metrics.Counter
 	jobsFailed    metrics.Counter
-	jobsCanceled  metrics.Counter
 	jobsCancelled metrics.Counter
 	jobsCoalesced metrics.Counter
 	rejectedFull  metrics.Counter
 	rejectedDrain metrics.Counter
 	solverPanics  metrics.Counter
 	inflight      metrics.Gauge
+	solvesRunning metrics.Gauge
 }
 
 // New builds a server and starts its executor goroutines. Call Drain to
@@ -120,6 +132,7 @@ func New(cfg Config) *Server {
 	}
 	s.queue = newJobQueue(cfg.QueueCapacity, cfg.Executors, s.runJob)
 	s.problemsJSON = buildProblemsListing()
+	s.log = cfg.Logger
 
 	r := s.reg
 	s.reqDuration = r.Histogram("rasengan_http_request_duration_seconds", "HTTP request latency.", nil)
@@ -129,13 +142,13 @@ func New(cfg Config) *Server {
 	s.jobsSubmitted = r.Counter("rasengan_jobs_submitted_total", "Jobs accepted into the queue.")
 	s.jobsCompleted = r.Counter("rasengan_jobs_completed_total", "Jobs finished successfully.")
 	s.jobsFailed = r.Counter("rasengan_jobs_failed_total", "Jobs that errored or timed out.")
-	s.jobsCanceled = r.Counter("rasengan_jobs_canceled_total", "Jobs canceled by the client.")
-	s.jobsCancelled = r.Counter("rasengan_jobs_cancelled_total", "Jobs whose solve stopped cooperatively at a context cancellation or deadline.")
+	s.jobsCancelled = r.Counter("rasengan_jobs_cancelled_total", "Jobs whose solve stopped at a context cancellation or deadline instead of completing.")
 	s.solverPanics = r.Counter("rasengan_solver_panics_total", "Solver panics recovered and converted into failed jobs.")
 	s.jobsCoalesced = r.Counter("rasengan_jobs_coalesced_total", "Requests joined onto an identical in-flight job.")
 	s.rejectedFull = r.Counter("rasengan_jobs_rejected_queue_full_total", "Submissions rejected with 429 (queue full).")
 	s.rejectedDrain = r.Counter("rasengan_jobs_rejected_draining_total", "Submissions rejected with 503 (draining).")
 	s.inflight = r.Gauge("rasengan_jobs_inflight", "Jobs queued or running.")
+	s.solvesRunning = r.Gauge("rasengan_solves_running", "Solves currently executing (excludes queued jobs).")
 	r.GaugeFunc("rasengan_queue_depth", "Accepted jobs waiting for an executor.", func() float64 {
 		return float64(s.queue.Depth())
 	})
@@ -253,6 +266,10 @@ type solveResponse struct {
 	Cached bool            `json:"cached"`
 	Error  string          `json:"error,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
+	// Telemetry is the job's convergence trace (winning start, one record
+	// per optimizer iteration). Present on computed jobs only — cache hits
+	// replay result bytes, not the original run's telemetry.
+	Telemetry []core.IterationTelemetry `json:"telemetry,omitempty"`
 }
 
 type errorResponse struct {
@@ -355,6 +372,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		s.jobsSubmitted.Inc()
 		s.inflight.Add(1)
+		s.log.Info("job accepted", "job_id", j.id, "spec_hash", key, "problem", p.Name,
+			"deadline_ms", deadline.Milliseconds())
 	}
 
 	if req.WaitMS > 0 {
@@ -376,7 +395,7 @@ func (s *Server) respondJob(w http.ResponseWriter, j *job) {
 	if v.Status == StatusDone || v.Status == StatusFailed || v.Status == StatusCanceled {
 		code = http.StatusOK
 	}
-	writeJSON(w, code, solveResponse{JobID: v.ID, Status: v.Status, Cached: v.Cached, Error: v.Error, Result: v.Result})
+	writeJSON(w, code, solveResponse{JobID: v.ID, Status: v.Status, Cached: v.Cached, Error: v.Error, Result: v.Result, Telemetry: v.Telemetry})
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -436,34 +455,60 @@ func (s *Server) runJob(j *job) {
 		s.finishErr(j, context.Canceled)
 		return
 	}
+	// Every executed solve records stage spans and convergence telemetry.
+	// Neither can change the result (telemetry observes, never steers) or
+	// the cached payload (convergence lives on the job, not in the result
+	// bytes), so the cache key ignores it by construction.
+	rec := obs.NewRecorder()
+	j.opts.Telemetry.Spans = rec
+	j.opts.Telemetry.Convergence = true
+	s.log.Info("job running", "job_id", j.id, "spec_hash", j.key, "problem", j.problem.Name)
+	s.solvesRunning.Inc()
 	start := time.Now()
 	res, err := s.runSolve(j)
+	s.solvesRunning.Dec()
 	if err != nil {
 		if j.ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			// Not a latency sample: observing abandoned solves would fold
 			// the deadline value itself into the duration histogram.
-			s.jobsCancelled.Inc()
 			s.finishErr(j, err)
 			return
 		}
 		s.solveDuration.Observe(time.Since(start).Seconds())
+		s.observeStages(rec)
 		if errors.Is(err, core.ErrSolvePanic) {
 			s.solverPanics.Inc()
 		}
 		j.finish(StatusFailed, nil, err.Error())
 		s.jobsFailed.Inc()
+		s.log.Warn("job failed", "job_id", j.id, "spec_hash", j.key,
+			"duration_ms", time.Since(start).Milliseconds(), "error", err.Error())
 		return
 	}
 	s.solveDuration.Observe(time.Since(start).Seconds())
+	s.observeStages(rec)
 	payload, err := marshalResult(j.problem, res)
 	if err != nil {
 		j.finish(StatusFailed, nil, "marshal result: "+err.Error())
 		s.jobsFailed.Inc()
 		return
 	}
+	j.setConvergence(res.Convergence)
 	s.cache.Put(j.key, payload)
 	j.finish(StatusDone, payload, "")
 	s.jobsCompleted.Inc()
+	s.log.Info("job done", "job_id", j.id, "spec_hash", j.key,
+		"duration_ms", time.Since(start).Milliseconds(), "iterations", res.Iterations, "evals", res.Evals)
+}
+
+// observeStages folds one job's span totals into the per-stage duration
+// histograms scraped at /metrics.
+func (s *Server) observeStages(rec *obs.Recorder) {
+	for stage, d := range rec.StageTotals() {
+		s.reg.HistogramWith("rasengan_stage_duration_seconds",
+			"Measured wall time per solve pipeline stage.", nil,
+			[2]string{"stage", stage}).Observe(d.Seconds())
+	}
 }
 
 // runSolve invokes the configured solver with a final panic net. The
@@ -480,14 +525,20 @@ func (s *Server) runSolve(j *job) (res *core.Result, err error) {
 	return s.cfg.Solve(j.ctx, j.problem, j.opts)
 }
 
+// finishErr settles a job whose solve stopped at a context boundary. It
+// is the single increment point for rasengan_jobs_cancelled_total, which
+// counts every context-stopped job regardless of whether the trigger was
+// a client cancel or a deadline (deadlines additionally count as failed).
 func (s *Server) finishErr(j *job, err error) {
+	s.jobsCancelled.Inc()
 	if errors.Is(err, context.DeadlineExceeded) {
 		j.finish(StatusFailed, nil, "deadline exceeded")
 		s.jobsFailed.Inc()
+		s.log.Warn("job deadline exceeded", "job_id", j.id, "spec_hash", j.key)
 		return
 	}
 	j.finish(StatusCanceled, nil, "canceled")
-	s.jobsCanceled.Inc()
+	s.log.Info("job cancelled", "job_id", j.id, "spec_hash", j.key)
 }
 
 // buildProblemsListing precomputes the GET /v1/problems body: every

@@ -29,6 +29,7 @@ import (
 	"rasengan/internal/core"
 	"rasengan/internal/device"
 	"rasengan/internal/metrics"
+	"rasengan/internal/obs"
 	"rasengan/internal/problems"
 	"rasengan/internal/qasm"
 	"rasengan/internal/quantum"
@@ -95,6 +96,26 @@ func SolveContext(ctx context.Context, p *Problem, opts SolveOptions) (*Result, 
 // concrete error carries the panic message and the panicking goroutine's
 // stack.
 var ErrSolvePanic = core.ErrSolvePanic
+
+// TraceRecorder collects stage spans from one or more solves. Attach one
+// via SolveOptions.Telemetry.Spans, then export it with its
+// WriteChromeTraceFile method (loadable in chrome://tracing or Perfetto)
+// or aggregate per-stage totals with StageTotals. Telemetry observes and
+// never steers: results are bit-identical with or without a recorder.
+type TraceRecorder = obs.Recorder
+
+// NewTraceRecorder returns a recorder whose clock is monotonic time since
+// creation.
+func NewTraceRecorder() *TraceRecorder { return obs.NewRecorder() }
+
+// TelemetryOptions switches on a solve's observability surfaces (stage
+// spans and per-iteration convergence records); see SolveOptions.Telemetry.
+type TelemetryOptions = core.TelemetryOptions
+
+// IterationTelemetry is one per-iteration convergence record
+// (Result.Convergence): best energy so far, running ARG when the optimum
+// is known, parameter norm, and elapsed wall time.
+type IterationTelemetry = core.IterationTelemetry
 
 // CoverageReport says how much of a problem's feasible space the
 // constructed transition pool connects.
