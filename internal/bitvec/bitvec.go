@@ -50,8 +50,13 @@ func FromBits(bits []int) Vec {
 }
 
 // FromString parses a string of '0' and '1' runes, with position i assigned
-// to variable i (so "101" has x0=1, x1=0, x2=1).
+// to variable i (so "101" has x0=1, x1=0, x2=1). Unlike New, an oversized
+// input is an error rather than a panic: the string typically comes from
+// external data (a problem file's "initial_solution" field), not from code.
 func FromString(s string) (Vec, error) {
+	if len(s) > MaxBits {
+		return Vec{}, fmt.Errorf("bitvec: string length %d exceeds capacity %d", len(s), MaxBits)
+	}
 	v := New(len(s))
 	for i, r := range s {
 		switch r {

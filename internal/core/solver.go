@@ -361,10 +361,13 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 	if exec.LastMeasuredShots > 0 {
 		rawRate = float64(exec.LastFeasibleShots) / float64(exec.LastMeasuredShots)
 	}
+	// Accumulate in sorted key order: this value is part of the
+	// deterministic wire payload, and map-iteration float addition would
+	// make byte-identical repeat solves diverge at the last ulp.
 	inRate := 0.0
-	for x, pr := range finalDist {
+	for _, x := range sortedDistKeys(finalDist) {
 		if p.Feasible(x) {
-			inRate += pr
+			inRate += finalDist[x]
 		}
 	}
 	if inRate > 1 {

@@ -1,0 +1,82 @@
+package problems
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzSpecRoundTrip asserts the codec laws of the spec wire format:
+// any bytes that parse must re-encode to a fixed point (encode → decode →
+// encode is byte-identical from the first encode on), the canonical form
+// and content hash must be stable across the round trip, and malformed
+// input must produce an error, never a panic.
+func FuzzSpecRoundTrip(f *testing.F) {
+	for _, fam := range Families {
+		for scale := 1; scale <= 4; scale++ {
+			data, err := json.Marshal(SpecFor(Benchmark{Family: fam, Scale: scale}, scale*7))
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(data)
+		}
+	}
+	inline, err := ToJSON(Benchmark{Family: "SCP", Scale: 1}.Generate(0))
+	if err != nil {
+		f.Fatal(err)
+	}
+	inlineSpec, _ := json.Marshal(&Spec{Problem: inline})
+	f.Add(inlineSpec)
+	// Historical panic: an oversized "initial_solution" string reached
+	// bitvec.New via FromString and blew past the 192-bit capacity.
+	f.Add([]byte(`{"problem":{"version":1,"name":"x","num_vars":1,"objective":{"linear":[1]},"initial_solution":"` + strings.Repeat("0", 4096) + `"}}`))
+	f.Add([]byte(`{"family":"FLP"}`))
+	f.Add([]byte(`{"family":"???","scale":9,"case":-3}`))
+	f.Add([]byte(`{"problem":null}`))
+	f.Add([]byte(`{"problem":{"version":99}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{} trailing`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			return // malformed input may be rejected, only panics are bugs
+		}
+		enc1, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("parsed spec failed to marshal: %v", err)
+		}
+		s2, err := ParseSpec(enc1)
+		if err != nil {
+			t.Fatalf("re-parse of own encoding failed: %v\nencoding: %s", err, enc1)
+		}
+		enc2, err := json.Marshal(s2)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if string(enc1) != string(enc2) {
+			t.Fatalf("encode→decode→encode not a fixed point:\n%s\n%s", enc1, enc2)
+		}
+		// Canonicalization and hashing must agree across the round trip
+		// (and may fail only in tandem — e.g. an instance that parses as
+		// JSON but fails semantic validation).
+		h1, err1 := s.Hash()
+		h2, err2 := s2.Hash()
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("hashability changed across round trip: %v vs %v", err1, err2)
+		}
+		if err1 == nil && h1 != h2 {
+			t.Fatalf("content hash changed across round trip: %s vs %s", h1, h2)
+		}
+	})
+}
+
+// TestFromJSONOversizedInit pins the fuzz-found decoder panic: an
+// "initial_solution" longer than the bit-vector capacity must be a
+// decode error, not a panic.
+func TestFromJSONOversizedInit(t *testing.T) {
+	data := []byte(`{"version":1,"name":"x","num_vars":1,"objective":{"linear":[1]},"initial_solution":"` + strings.Repeat("1", 500) + `"}`)
+	if _, err := FromJSON(data); err == nil {
+		t.Fatal("FromJSON accepted a 500-bit initial solution")
+	}
+}

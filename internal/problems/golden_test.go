@@ -1,0 +1,113 @@
+package problems
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate testdata/golden_references.json from the current generators")
+
+// goldenCell pins the brute-force reference of one benchmark cell. Any
+// drift — a generator emitting a different instance, enumeration finding
+// a different feasible count, the optimum moving — fails the gate until
+// the change is acknowledged with -update.
+type goldenCell struct {
+	Label       string  `json:"label"`
+	Case        int     `json:"case"`
+	NumVars     int     `json:"num_vars"`
+	NumFeasible int     `json:"num_feasible"`
+	EOpt        float64 `json:"e_opt"`
+	WorstCase   float64 `json:"worst_case"`
+	SpecHash    string  `json:"spec_hash"`
+}
+
+const goldenPath = "testdata/golden_references.json"
+
+func computeGolden(t *testing.T, short bool) []goldenCell {
+	t.Helper()
+	var cells []goldenCell
+	for _, fam := range Families {
+		for scale := 1; scale <= 4; scale++ {
+			if short && scale > 2 {
+				continue
+			}
+			b := Benchmark{Family: fam, Scale: scale}
+			p := b.Generate(0)
+			ref, err := ExactReference(p)
+			if err != nil {
+				t.Fatalf("%s: %v", b.Label(), err)
+			}
+			hash, err := SpecFor(b, 0).Hash()
+			if err != nil {
+				t.Fatalf("%s: %v", b.Label(), err)
+			}
+			cells = append(cells, goldenCell{
+				Label:       b.Label(),
+				Case:        0,
+				NumVars:     p.N,
+				NumFeasible: ref.NumFeasible,
+				EOpt:        ref.Opt,
+				WorstCase:   ref.WorstCase,
+				SpecHash:    hash,
+			})
+		}
+	}
+	return cells
+}
+
+// TestGoldenReferences compares every benchmark cell's brute-force
+// reference against the committed golden file. Run with -update after an
+// intentional generator change:
+//
+//	go test ./internal/problems -run TestGoldenReferences -update
+func TestGoldenReferences(t *testing.T) {
+	got := computeGolden(t, testing.Short())
+
+	if *updateGolden {
+		if testing.Short() {
+			t.Fatal("-update requires the full tier (drop -short)")
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d cells to %s", len(got), goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	var want []goldenCell
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	byLabel := make(map[string]goldenCell, len(want))
+	for _, c := range want {
+		byLabel[c.Label] = c
+	}
+	for _, g := range got {
+		w, ok := byLabel[g.Label]
+		if !ok {
+			t.Errorf("%s: missing from golden file (run -update?)", g.Label)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: reference drifted:\n  golden:  %+v\n  current: %+v\n(intentional generator changes need -update)", g.Label, w, g)
+		}
+	}
+	if !testing.Short() && len(want) != len(got) {
+		t.Errorf("golden file has %d cells, current suite has %d", len(want), len(got))
+	}
+}

@@ -5,6 +5,23 @@
 // canonical solver-config fingerprint, and results are deterministic
 // byte-for-byte — a cache hit returns exactly the bytes a fresh solve
 // would produce.
+//
+// # Canonicalization invariant
+//
+// Two requests share a cache key if and only if they are canonically
+// identical. Spelling never matters: JSON object-key order, whitespace,
+// and config defaults written out versus omitted all normalize away
+// (specs via problems.Spec.Canonical, which re-serializes inline
+// instances through FromJSON→ToJSON; configs via
+// core.CanonicalOptionsJSON, which applies defaults before
+// fingerprinting). Provenance, however, does matter: a generator
+// reference {family,scale,case} and the inline serialization of the very
+// instance it generates are distinct keys by design — canonicalization
+// does not expand generators. internal/verify exercises both directions
+// of this invariant (see canonical_test.go and the verify package's
+// spec_canonical_hash checks), and the cache-replay contract — a hit
+// returns exactly the bytes a fresh solve would produce — is what the
+// verify package's determinism_repeat metamorphic check enforces.
 package service
 
 import (

@@ -54,6 +54,14 @@ type distEntry struct {
 	Objective   float64 `json:"f"`
 }
 
+// MarshalResultPayload renders the deterministic wire payload of a solve.
+// It is exported for the verify subsystem, whose determinism metamorphic
+// relations (workers=1 vs N, repeat solves, row-reordered constraints)
+// compare exactly these bytes — the same bytes the cache replays on a hit.
+func MarshalResultPayload(p *problems.Problem, res *core.Result) ([]byte, error) {
+	return marshalResult(p, res)
+}
+
 // marshalResult renders the deterministic wire payload of a solve.
 func marshalResult(p *problems.Problem, res *core.Result) ([]byte, error) {
 	entries := make([]distEntry, 0, len(res.Distribution))

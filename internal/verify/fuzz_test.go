@@ -1,0 +1,73 @@
+package verify
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"rasengan/internal/core"
+	"rasengan/internal/problems"
+	"rasengan/internal/quantum"
+)
+
+// FuzzCircuitFromSpec drives arbitrary spec bytes through the full
+// compile pipeline: parse → build → basis → schedule → gate circuits.
+// Nothing on that path may panic, whatever the input; and when a circuit
+// is produced on a small register, executing it must preserve the norm
+// (every compiled transition is unitary).
+func FuzzCircuitFromSpec(f *testing.F) {
+	for _, fam := range problems.Families {
+		for scale := 1; scale <= 4; scale++ {
+			s := problems.SpecFor(problems.Benchmark{Family: fam, Scale: scale}, scale)
+			if data, err := json.Marshal(s); err == nil {
+				f.Add(data)
+			}
+		}
+	}
+	if inline, err := problems.ToJSON(problems.Benchmark{Family: "FLP", Scale: 1}.Generate(3)); err == nil {
+		data, _ := json.Marshal(&problems.Spec{Problem: inline})
+		f.Add(data)
+	}
+	f.Add([]byte(`{"family":"FLP","scale":1,"case":-1}`))
+	f.Add([]byte(`{"problem":{"version":1}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := problems.ParseSpec(data)
+		if err != nil {
+			return
+		}
+		p, err := spec.Build()
+		if err != nil {
+			return
+		}
+		if p.Validate() != nil || p.N > 16 {
+			return
+		}
+		// Small search budgets keep worst-case inputs fast; the property
+		// under test is "no panic", not search completeness.
+		b, err := core.BuildBasis(p, core.BasisOptions{
+			Search: core.TernarySearchOptions{MaxSupport: 3, NodeBudget: 20000, MaxVectors: 64},
+		})
+		if err != nil {
+			return
+		}
+		sched := core.BuildSchedule(p, b, core.ScheduleOptions{})
+		for i, op := range sched.Ops {
+			if i >= 8 {
+				break
+			}
+			c := op.OperatorCircuit(p.N, 0.7)
+			if p.N <= 12 {
+				d := quantum.NewDenseBasis(p.Init)
+				d.Run(c)
+				nrm := 0.0
+				for s := uint64(0); s < uint64(1)<<uint(p.N); s++ {
+					nrm += d.Probability(s)
+				}
+				if math.Abs(nrm-1) > NormTol {
+					t.Fatalf("operator circuit %d broke unitarity: norm %v on %s", i, nrm, p.Name)
+				}
+			}
+		}
+	})
+}

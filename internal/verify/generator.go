@@ -1,0 +1,237 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rasengan/internal/bitvec"
+	"rasengan/internal/core"
+	"rasengan/internal/linalg"
+	"rasengan/internal/problems"
+)
+
+// testCase is one unit of verification work: a problem instance plus
+// (optionally) a hand-built transition set that overrides the production
+// BuildBasis→BuildSchedule pipeline.
+type testCase struct {
+	name string
+	p    *problems.Problem
+
+	// Generator coordinates when the case came from the benchmark suite
+	// (isBench); used by the spec-canonicalization metamorphic check.
+	isBench bool
+	family  string
+	scale   int
+	caseIdx int
+
+	// ops, when non-nil, replaces the production pipeline with hand-built
+	// transitions — used by corners where the pipeline is degenerate or
+	// the register too wide for schedule construction.
+	ops []core.Transition
+
+	// wantPipelineError marks cases whose entire value is a graceful
+	// error from BuildBasis (e.g. a unique feasible solution has a
+	// trivial nullspace): the check fails if the pipeline succeeds or
+	// panics.
+	wantPipelineError bool
+
+	// wantEmptyFeasible marks deliberately infeasible constraint systems:
+	// enumeration must find nothing and ExactReference must error rather
+	// than panic. Such a problem cannot pass Validate (no feasible seed
+	// exists), so all state-evolution checks are skipped.
+	wantEmptyFeasible bool
+
+	// solveEligible permits the expensive full-solve metamorphic checks
+	// (row-reorder solve identity, workers=1 vs N, repeat-solve payload
+	// identity) on this case, subject to the Config.SolveEvery cadence.
+	solveEligible bool
+}
+
+// randomCase draws one benchmark-derived case: family and scale from the
+// rng, case index over the generator seed space.
+func randomCase(rng *rand.Rand, maxScale int) *testCase {
+	fam := problems.Families[rng.Intn(len(problems.Families))]
+	scale := 1 + rng.Intn(maxScale)
+	caseIdx := rng.Intn(64)
+	b := problems.Benchmark{Family: fam, Scale: scale}
+	return &testCase{
+		name:          fmt.Sprintf("%s/case%d", b.Label(), caseIdx),
+		p:             b.Generate(caseIdx),
+		isBench:       true,
+		family:        fam,
+		scale:         scale,
+		caseIdx:       caseIdx,
+		solveEligible: scale <= 2,
+	}
+}
+
+// cornerCases returns the fixed adversarial suite: the degenerate shapes
+// randomized benchmark sampling can never produce.
+func cornerCases() []*testCase {
+	return []*testCase{
+		cornerOneVar(),
+		cornerFullFeasible(),
+		cornerDuplicateRows(),
+		cornerUniqueSolution(),
+		cornerEmptyFeasible(),
+		cornerWide192(),
+	}
+}
+
+func mustValidate(p *problems.Problem) *problems.Problem {
+	if err := p.Validate(); err != nil {
+		panic("verify: corner case failed validation: " + err.Error())
+	}
+	return p
+}
+
+// cornerOneVar is the 1-variable extreme: an unconstrained single bit
+// (0-row constraint matrix). The nullspace is the whole space and the
+// feasible set is {0, 1}.
+func cornerOneVar() *testCase {
+	p := mustValidate(&problems.Problem{
+		Name:   "corner/one-var",
+		Family: "CORNER",
+		N:      1,
+		Obj:    problems.QuadObjective{Linear: []float64{1}},
+		C:      linalg.NewIntMat(0, 1),
+		Init:   bitvec.New(1),
+	})
+	return &testCase{name: p.Name, p: p}
+}
+
+// cornerFullFeasible has an all-zero constraint row, so every one of the
+// 2^8 states is feasible (the "full feasible set" extreme) and the
+// constraint matrix is rank-deficient.
+func cornerFullFeasible() *testCase {
+	n := 8
+	obj := problems.NewQuadObjective(n)
+	for i := range obj.Linear {
+		obj.Linear[i] = float64(i+1) * 0.5
+	}
+	obj.AddQuad(0, 3, -1.25)
+	obj.AddQuad(2, 7, 2.5)
+	obj.Normalize()
+	p := mustValidate(&problems.Problem{
+		Name:   "corner/full-feasible",
+		Family: "CORNER",
+		N:      n,
+		Obj:    obj,
+		C:      linalg.NewIntMat(1, n),
+		B:      []int64{0},
+		Init:   bitvec.New(n),
+	})
+	return &testCase{name: p.Name, p: p}
+}
+
+// cornerDuplicateRows duplicates every constraint row of a benchmark
+// instance: the rank-deficient system has the same RREF, nullspace, and
+// feasible set as the original.
+func cornerDuplicateRows() *testCase {
+	base := problems.Benchmark{Family: "FLP", Scale: 1}.Generate(0)
+	rows := base.C.Rows
+	C := linalg.NewIntMat(2*rows, base.N)
+	B := make([]int64, 0, 2*rows)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < base.C.Cols; c++ {
+			v := base.C.At(r, c)
+			C.Set(2*r, c, v)
+			C.Set(2*r+1, c, v)
+		}
+		B = append(B, base.B[r], base.B[r])
+	}
+	p := mustValidate(&problems.Problem{
+		Name:   "corner/rank-deficient",
+		Family: base.Family,
+		N:      base.N,
+		Sense:  base.Sense,
+		Obj:    base.Obj.Clone(),
+		C:      C,
+		B:      B,
+		Init:   base.Init,
+	})
+	return &testCase{name: p.Name, p: p}
+}
+
+// cornerUniqueSolution pins every variable (C = I), so the feasible set
+// is a singleton and the nullspace is trivial: BuildBasis must refuse
+// with a descriptive error, never panic.
+func cornerUniqueSolution() *testCase {
+	n := 3
+	C := linalg.NewIntMat(n, n)
+	for i := 0; i < n; i++ {
+		C.Set(i, i, 1)
+	}
+	init := bitvec.New(n)
+	init.Set(0, true)
+	init.Set(2, true)
+	p := mustValidate(&problems.Problem{
+		Name:   "corner/unique-solution",
+		Family: "CORNER",
+		N:      n,
+		Obj:    problems.QuadObjective{Linear: []float64{1, 2, 3}},
+		C:      C,
+		B:      []int64{1, 0, 1},
+		Init:   init,
+	})
+	return &testCase{name: p.Name, p: p, wantPipelineError: true}
+}
+
+// cornerEmptyFeasible is a contradictory system (x_0 = 0 and x_0 = 1):
+// the feasible set is empty. The problem deliberately cannot validate —
+// the case asserts graceful errors from enumeration, reference
+// computation, and basis construction.
+func cornerEmptyFeasible() *testCase {
+	C := linalg.NewIntMat(2, 1)
+	C.Set(0, 0, 1)
+	C.Set(1, 0, 1)
+	p := &problems.Problem{
+		Name:   "corner/empty-feasible",
+		Family: "CORNER",
+		N:      1,
+		Obj:    problems.QuadObjective{Linear: []float64{1}},
+		C:      C,
+		B:      []int64{0, 1},
+		Init:   bitvec.New(1),
+	}
+	return &testCase{name: p.Name, p: p, wantEmptyFeasible: true}
+}
+
+// cornerWide192 is the 192-variable extreme — the full bitvec capacity.
+// One coupling constraint (x_0 = x_1) plus hand-built transitions whose
+// supports straddle every 64-bit word boundary. Far too wide for dense
+// simulation or feasible enumeration; the sparse-only checks (norm
+// conservation, feasibility preservation, permutation metamorphic) still
+// apply.
+func cornerWide192() *testCase {
+	n := bitvec.MaxBits
+	C := linalg.NewIntMat(1, n)
+	C.Set(0, 0, 1)
+	C.Set(0, 1, -1)
+	obj := problems.NewQuadObjective(n)
+	for i := range obj.Linear {
+		obj.Linear[i] = float64(i%5) * 0.25
+	}
+	p := mustValidate(&problems.Problem{
+		Name:   "corner/wide-192",
+		Family: "CORNER",
+		N:      n,
+		Obj:    obj,
+		C:      C,
+		B:      []int64{0},
+		Init:   bitvec.New(n),
+	})
+	// u = e_0 + e_1 satisfies C·u = 1 − 1 = 0; single flips on any
+	// variable past index 1 trivially satisfy the zero row coefficients.
+	// Indices 63/64/65 and 127/128/191 stress the word boundaries.
+	var ops []core.Transition
+	u := make([]int64, n)
+	u[0], u[1] = 1, 1
+	ops = append(ops, core.Transition{U: u})
+	for _, i := range []int{2, 5, 63, 64, 65, 127, 128, 191} {
+		v := make([]int64, n)
+		v[i] = 1
+		ops = append(ops, core.Transition{U: v})
+	}
+	return &testCase{name: p.Name, p: p, ops: ops}
+}

@@ -1,0 +1,117 @@
+package verify
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// shortConfig is the -short tier: a handful of cases, no full solves.
+func shortConfig() Config {
+	return Config{Cases: 4, Seed: 1, MaxScale: 1, SolveEvery: -1}
+}
+
+// fullConfig is the default tier: the CI smoke configuration.
+func fullConfig() Config {
+	return Config{Cases: 25, Seed: 1, MaxScale: 2, SolveEvery: 8, SolveIters: 15}
+}
+
+func TestVerifyRun(t *testing.T) {
+	cfg := fullConfig()
+	if testing.Short() {
+		cfg = shortConfig()
+	}
+	rep := Run(cfg)
+	if !rep.OK() {
+		t.Fatalf("verification failed:\n%s", rep.Summary())
+	}
+	if rep.NumChecks == 0 {
+		t.Fatal("verification ran no checks")
+	}
+	if rep.MaxAmpDivergence >= AmpTol {
+		t.Fatalf("max amplitude divergence %.3g at or above tolerance %.0e", rep.MaxAmpDivergence, AmpTol)
+	}
+	t.Log(rep.Summary())
+}
+
+// TestVerifyDeterministic: identical (Cases, Seed) runs must produce
+// byte-identical reports — the reproducibility contract of the CLI's
+// -seed flag.
+func TestVerifyDeterministic(t *testing.T) {
+	cfg := Config{Cases: 3, Seed: 42, MaxScale: 1, SolveEvery: -1, SkipCorners: true}
+	a, err1 := json.Marshal(Run(cfg))
+	b, err2 := json.Marshal(Run(cfg))
+	if err1 != nil || err2 != nil {
+		t.Fatalf("marshal failed: %v / %v", err1, err2)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("two identical runs produced different reports:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestFaultInjectionDetected is the oracle's self-test: a deliberately
+// corrupted amplitude must be flagged. A verification gate that cannot
+// fail verifies nothing.
+func TestFaultInjectionDetected(t *testing.T) {
+	rep := Run(Config{
+		Cases: 3, Seed: 7, MaxScale: 1,
+		SolveEvery: -1, SkipCorners: true,
+		InjectAmplitudeFault: true,
+	})
+	if rep.OK() {
+		t.Fatalf("injected amplitude fault went undetected:\n%s", rep.Summary())
+	}
+	found := false
+	for _, c := range rep.Cases {
+		for _, ch := range c.Checks {
+			if ch.Name == "sparse_dense_amplitude" && !ch.OK {
+				found = true
+				if ch.Divergence < faultEpsilon/2 {
+					t.Errorf("detected divergence %.3g implausibly small for an %.0e fault", ch.Divergence, faultEpsilon)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no failing sparse_dense_amplitude check in report:\n%s", rep.Summary())
+	}
+}
+
+// TestFailFast: with fault injection on, FailFast must stop at the first
+// divergent case and mark the report.
+func TestFailFast(t *testing.T) {
+	rep := Run(Config{
+		Cases: 5, Seed: 7, MaxScale: 1,
+		SolveEvery: -1, SkipCorners: true,
+		InjectAmplitudeFault: true, FailFast: true,
+	})
+	if rep.OK() {
+		t.Fatal("fail-fast run with injected fault reported success")
+	}
+	if !rep.StoppedEarly {
+		t.Error("report not marked StoppedEarly")
+	}
+	if len(rep.Cases) == 0 || rep.Cases[len(rep.Cases)-1].Failed == 0 {
+		t.Error("fail-fast did not stop on a failing case")
+	}
+}
+
+// TestCornersOnly exercises the fixed adversarial suite in isolation
+// (1 randomized case is the minimum the config allows).
+func TestCornersOnly(t *testing.T) {
+	rep := Run(Config{Cases: 1, Seed: 3, MaxScale: 1, SolveEvery: -1})
+	if !rep.OK() {
+		t.Fatalf("corner suite failed:\n%s", rep.Summary())
+	}
+	names := map[string]bool{}
+	for _, c := range rep.Cases {
+		names[c.Case] = true
+	}
+	for _, want := range []string{
+		"corner/one-var", "corner/full-feasible", "corner/rank-deficient",
+		"corner/unique-solution", "corner/empty-feasible", "corner/wide-192",
+	} {
+		if !names[want] {
+			t.Errorf("corner case %q missing from report", want)
+		}
+	}
+}
