@@ -40,6 +40,7 @@ func main() {
 		saveSched = flag.String("save-schedule", "", "write the pruned schedule as JSON to this path")
 		dumpProb  = flag.String("dump-problem", "", "write the instance as JSON to this path")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON of the offline stages (open in chrome://tracing or Perfetto)")
+		engine    = flag.String("engine", "", "execution engine to compile for: map or compiled (default: compiled)")
 	)
 	wf := parallel.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -122,7 +123,7 @@ func main() {
 
 	checkpoint("segmentation")
 	sp = rec.Start(obs.StageCircuit, 0, obs.NoParent)
-	exec, err := core.NewExecutor(p, sched.Ops, core.ExecOptions{})
+	exec, err := core.NewExecutor(p, sched.Ops, core.ExecOptions{Engine: *engine})
 	rec.End(sp)
 	if err != nil {
 		log.Fatal(err)
@@ -131,6 +132,18 @@ func main() {
 		exec.NumSegments(), exec.MaxSegmentDepth(), exec.TotalCX)
 	for i, d := range exec.SegmentDepths {
 		fmt.Printf("  segment %d: depth %d\n", i+1, d)
+	}
+
+	if exec.EngineUsed == core.EngineCompiled {
+		states, distinct, pairs := exec.CompiledSpaceStats()
+		fmt.Printf("\nengine: compiled (%d states, %d distinct operators, %d rotation pairs)\n",
+			states, distinct, pairs)
+	} else {
+		fmt.Printf("\nengine: map")
+		if exec.EngineFallbackReason != "" {
+			fmt.Printf(" (fallback: %s)", exec.EngineFallbackReason)
+		}
+		fmt.Println()
 	}
 
 	if rec != nil {

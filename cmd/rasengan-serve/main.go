@@ -109,6 +109,7 @@ func main() {
 		maxIter   = flag.Int("max-iters", 300, "cap on per-request optimizer iterations")
 		maxVars   = flag.Int("max-vars", 40, "largest accepted problem width in variables")
 		drainWait = flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for accepted jobs")
+		engine    = flag.String("engine", "", "execution engine for every solve: map or compiled (default: compiled; not part of the cache key)")
 	)
 	wf := parallel.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -137,6 +138,9 @@ func main() {
 	if *maxVars < 1 {
 		fatal("-max-vars must be >= 1", "got", *maxVars)
 	}
+	if !core.ValidEngine(*engine) {
+		fatal("-engine must be \"map\" or \"compiled\"", "got", *engine)
+	}
 	applyFaultInjection(os.Getenv("RASENGAN_FAULT"), logger)
 
 	srv := service.New(service.Config{
@@ -146,6 +150,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxIter:        *maxIter,
 		MaxVars:        *maxVars,
+		Engine:         *engine,
 		Logger:         logger,
 	})
 

@@ -41,6 +41,7 @@ func main() {
 		iters      = flag.Int("iters", 150, "optimizer iteration budget")
 		shots      = flag.Int("shots", 0, "shots per segment (0 = exact noise-free)")
 		devName    = flag.String("device", "", "device model: kyiv, brisbane, quebec (empty = ideal)")
+		engine     = flag.String("engine", "", "execution engine: map or compiled (default: compiled, with automatic fallback)")
 		verbose    = flag.Bool("v", false, "print the full output distribution and the convergence trace")
 		draw       = flag.Bool("draw", false, "draw the first transition-operator circuit")
 		emitQASM   = flag.Bool("qasm", false, "print the first transition-operator circuit as OpenQASM 2.0")
@@ -62,6 +63,9 @@ func main() {
 	}
 	if *shots < 0 {
 		log.Fatalf("-shots must be >= 0 (got %d)", *shots)
+	}
+	if !rasengan.ValidEngine(*engine) {
+		log.Fatalf("-engine must be %q or %q (got %q)", rasengan.EngineMap, rasengan.EngineCompiled, *engine)
 	}
 	if *bench == "" && *probFile == "" {
 		if !problems.KnownFamily(*family) {
@@ -97,6 +101,7 @@ func main() {
 
 	opts := rasengan.SolveOptions{MaxIter: *iters, Seed: *seed}
 	opts.Exec.Shots = *shots
+	opts.Exec.Engine = *engine
 	if *devName != "" {
 		dev, err := device.ByName(*devName)
 		if err != nil {

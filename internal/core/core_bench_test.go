@@ -87,3 +87,58 @@ func BenchmarkOperatorCircuitEmission(b *testing.B) {
 		tr.OperatorCircuit(24, 0.5)
 	}
 }
+
+// benchOptimizerIter measures one optimizer objective evaluation — a full
+// RunEnergy over the instance's schedule at fixed times — under the given
+// engine. This is the loop body the compiled engine exists to accelerate;
+// BENCH_PR6.json records map-vs-compiled ratios on the medium cells below.
+func benchOptimizerIter(b *testing.B, p *problems.Problem, engine string) {
+	basis, err := BuildBasis(p, BasisOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched := BuildSchedule(p, basis, ScheduleOptions{})
+	exec, err := NewExecutor(p, sched.Ops, ExecOptions{Engine: engine})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if exec.EngineUsed != engine {
+		b.Fatalf("engine %q fell back to %q: %s", engine, exec.EngineUsed, exec.EngineFallbackReason)
+	}
+	times := make([]float64, exec.NumParams())
+	for i := range times {
+		times[i] = 0.55 + 0.07*float64(i%4)
+	}
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.RunEnergyCtx(ctx, times, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizerIterMapFLP3(b *testing.B) {
+	benchOptimizerIter(b, problems.FLP(3, 0), EngineMap)
+}
+
+func BenchmarkOptimizerIterCompiledFLP3(b *testing.B) {
+	benchOptimizerIter(b, problems.FLP(3, 0), EngineCompiled)
+}
+
+func BenchmarkOptimizerIterMapSCP4(b *testing.B) {
+	benchOptimizerIter(b, problems.SCP(4, 0), EngineMap)
+}
+
+func BenchmarkOptimizerIterCompiledSCP4(b *testing.B) {
+	benchOptimizerIter(b, problems.SCP(4, 0), EngineCompiled)
+}
+
+func BenchmarkOptimizerIterMapKPP3(b *testing.B) {
+	benchOptimizerIter(b, problems.KPP(3, 0), EngineMap)
+}
+
+func BenchmarkOptimizerIterCompiledKPP3(b *testing.B) {
+	benchOptimizerIter(b, problems.KPP(3, 0), EngineCompiled)
+}

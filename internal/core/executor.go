@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"strconv"
 	"time"
@@ -46,6 +47,15 @@ type ExecOptions struct {
 	ShotGrowth float64
 	// MaxShotsPerSegment caps the growth (default 65536).
 	MaxShotsPerSegment int
+	// Engine selects the transition-simulation backend: EngineCompiled
+	// (the default when empty) enumerates the reachable feasible subspace
+	// once at construction and runs flat-array kernels, falling back to
+	// the map engine when a noisy device is attached or the subspace
+	// exceeds the compile budget; EngineMap forces the map-based Sparse
+	// simulator unconditionally. The engines are bit-identical on their
+	// shared domain, so Engine — like the worker count — is excluded from
+	// CanonicalOptionsJSON and never affects results or cache keys.
+	Engine string
 }
 
 func (o ExecOptions) depthBudget() int {
@@ -84,10 +94,9 @@ func (o ExecOptions) shotsForSegment(segIdx int) int {
 		shots = 1024
 	}
 	if o.ShotGrowth > 1 {
-		f := 1.0
-		for i := 0; i < segIdx; i++ {
-			f *= o.ShotGrowth
-		}
+		// Closed form instead of an O(segIdx) multiply loop: this runs once
+		// per (segment, run) on the sampled hot path.
+		f := math.Pow(o.ShotGrowth, float64(segIdx))
 		shots = int(float64(shots) * f)
 		cap := o.MaxShotsPerSegment
 		if cap <= 0 {
@@ -131,6 +140,22 @@ type Executor struct {
 	LastSegmentsRun     int
 	LastTerminatedEarly bool
 
+	// EngineUsed is the engine actually selected at construction —
+	// EngineCompiled, or EngineMap (possibly as a fallback, see
+	// EngineFallbackReason).
+	EngineUsed string
+	// EngineFallbackReason explains why a requested/default compiled
+	// engine fell back to the map engine ("" when it did not).
+	EngineFallbackReason string
+
+	// plan is the compiled-engine artifact (nil when EngineUsed ==
+	// EngineMap); crt holds this clone's mutable flat buffers, lazily
+	// allocated and never shared across clones. lastGoodDist backs
+	// LastDistribution on the map path.
+	plan         *compiledPlan
+	crt          *compiledRT
+	lastGoodDist map[bitvec.Vec]float64
+
 	// Telemetry sink (SetTelemetry). Kept out of ExecOptions so the
 	// canonical options fingerprint can never absorb a recorder.
 	spans     *obs.Recorder
@@ -152,7 +177,10 @@ func NewExecutor(p *problems.Problem, ops []Transition, opts ExecOptions) (*Exec
 	if len(ops) == 0 {
 		return nil, fmt.Errorf("core: empty schedule for %s", p.Name)
 	}
-	e := &Executor{p: p, ops: ops, opts: opts}
+	if !ValidEngine(opts.Engine) {
+		return nil, fmt.Errorf("core: unknown engine %q (want %q or %q)", opts.Engine, EngineMap, EngineCompiled)
+	}
+	e := &Executor{p: p, ops: ops, opts: opts, EngineUsed: EngineMap}
 
 	// Compile each distinct operator once (structure is t-independent).
 	e.stats = make([]opStats, len(ops))
@@ -216,6 +244,9 @@ func NewExecutor(p *problems.Problem, ops []Transition, opts ExecOptions) (*Exec
 		}
 		e.SegmentDepths = append(e.SegmentDepths, d)
 	}
+	if opts.Engine != EngineMap {
+		e.compileEngine()
+	}
 	return e, nil
 }
 
@@ -231,6 +262,10 @@ func (e *Executor) Clone() *Executor {
 	c.LastQuantumNS = 0
 	c.LastSegmentsRun = 0
 	c.LastTerminatedEarly = false
+	// The compiled plan is shared read-only, but runtime buffers and the
+	// last-distribution snapshot are per-clone state.
+	c.crt = nil
+	c.lastGoodDist = nil
 	return &c
 }
 
@@ -271,6 +306,13 @@ func (e *Executor) RunCtx(ctx context.Context, t []float64, rng *rand.Rand) (map
 	if len(t) != len(e.ops) {
 		return nil, fmt.Errorf("core: %d times for %d operators", len(t), len(e.ops))
 	}
+	if e.plan != nil {
+		flat, err := e.runCompiled(ctx, t, rng)
+		if err != nil {
+			return nil, err
+		}
+		return e.flatToMap(flat), nil
+	}
 	e.LastShotsUsed = 0
 	e.LastFeasibleShots = 0
 	e.LastMeasuredShots = 0
@@ -286,7 +328,8 @@ func (e *Executor) RunCtx(ctx context.Context, t []float64, rng *rand.Rand) (map
 		segSpan := obs.NoParent
 		if e.spans.Enabled() {
 			segSpan = e.spans.Start(obs.StageSegment, e.spanTrack, e.spanRoot,
-				obs.Attr{Key: "segment", Val: strconv.Itoa(segIdx)})
+				obs.Attr{Key: "segment", Val: strconv.Itoa(segIdx)},
+				obs.Attr{Key: obs.AttrEngine, Val: EngineMap})
 		}
 		var next map[bitvec.Vec]float64
 		var err error

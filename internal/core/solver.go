@@ -238,7 +238,10 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 		res       optimize.Result
 		evals     int
 		quantumNS float64
-		lastGood  map[bitvec.Vec]float64
+		// ex is the start's executor clone; its LastDistribution carries
+		// the most recent successful evaluation's distribution, used as a
+		// fallback when the final evaluation fails.
+		ex *Executor
 	}
 	outcomes := make([]startOutcome, len(starts))
 	// Tracks are allocated up front, before the pool fans out, so track ids
@@ -260,6 +263,7 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 		ex.SetTelemetry(rec, startTracks[i], root)
 		srng := parallel.NewRand(opts.Seed+7, uint64(i))
 		o := &outcomes[i]
+		o.ex = ex
 		objective := func(t []float64) float64 {
 			fault(FaultIteration)
 			if ctx.Err() != nil {
@@ -269,17 +273,15 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 				return math.Inf(1)
 			}
 			o.evals++
-			dist, err := ex.RunCtx(ctx, t, srng)
+			// RunEnergyCtx skips the per-eval map materialization on the
+			// compiled engine; the energy is bit-identical to summing
+			// dist[x]·ScoreMin(x) over the sorted distribution keys.
+			energy, err := ex.RunEnergyCtx(ctx, t, srng)
 			o.quantumNS += ex.LastQuantumNS
 			if err != nil {
 				return math.Inf(1)
 			}
-			o.lastGood = dist
-			e := 0.0
-			for _, x := range sortedDistKeys(dist) {
-				e += dist[x] * p.ScoreMin(x)
-			}
-			return e
+			return energy
 		}
 		oopts := optimize.Options{
 			MaxIter:  perStart,
@@ -332,7 +334,7 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 		}
 	}
 	res := outcomes[best].res
-	lastGood := outcomes[best].lastGood
+	lastGood := outcomes[best].ex.LastDistribution()
 	evalCount := 0
 	quantumNS := 0.0
 	for _, o := range outcomes {

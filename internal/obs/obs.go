@@ -45,6 +45,11 @@ const (
 	StageFinalEval = "final_eval"
 )
 
+// AttrEngine is the span attribute key carrying the simulation engine
+// ("map" or "compiled") on every StageSegment span, so traces of the two
+// executor backends can be told apart and compared stage by stage.
+const AttrEngine = "engine"
+
 // Attr is one key/value annotation on a span.
 type Attr struct {
 	Key, Val string

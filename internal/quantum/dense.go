@@ -155,30 +155,65 @@ func (d *Dense) Apply1Q(q int, m [2][2]complex128) {
 	})
 }
 
-// ApplyGate applies one gate of the IR.
-func (d *Dense) ApplyGate(g Gate) {
+// mat1Q returns the 2×2 unitary of a single-qubit gate; ok is false for
+// multi-qubit kinds. The matrices here are the single source of truth for
+// both ApplyGate and the gate-fusion pass, so fused and unfused execution
+// agree up to matrix-product rounding.
+func mat1Q(g Gate) (m [2][2]complex128, ok bool) {
 	switch g.Kind {
 	case GateX:
-		d.Apply1Q(g.Qubits[0], [2][2]complex128{{0, 1}, {1, 0}})
+		return [2][2]complex128{{0, 1}, {1, 0}}, true
 	case GateH:
 		s := complex(1/math.Sqrt2, 0)
-		d.Apply1Q(g.Qubits[0], [2][2]complex128{{s, s}, {s, -s}})
+		return [2][2]complex128{{s, s}, {s, -s}}, true
 	case GateSX:
 		// sqrt(X) = 1/2 [[1+i, 1-i], [1-i, 1+i]]
 		p, q := complex(0.5, 0.5), complex(0.5, -0.5)
-		d.Apply1Q(g.Qubits[0], [2][2]complex128{{p, q}, {q, p}})
+		return [2][2]complex128{{p, q}, {q, p}}, true
 	case GateRX:
 		c, s := math.Cos(g.Theta/2), math.Sin(g.Theta/2)
-		d.Apply1Q(g.Qubits[0], [2][2]complex128{{complex(c, 0), complex(0, -s)}, {complex(0, -s), complex(c, 0)}})
+		return [2][2]complex128{{complex(c, 0), complex(0, -s)}, {complex(0, -s), complex(c, 0)}}, true
 	case GateRY:
 		c, s := math.Cos(g.Theta/2), math.Sin(g.Theta/2)
-		d.Apply1Q(g.Qubits[0], [2][2]complex128{{complex(c, 0), complex(-s, 0)}, {complex(s, 0), complex(c, 0)}})
+		return [2][2]complex128{{complex(c, 0), complex(-s, 0)}, {complex(s, 0), complex(c, 0)}}, true
 	case GateRZ:
 		e0, e1 := cmplx.Exp(complex(0, -g.Theta/2)), cmplx.Exp(complex(0, g.Theta/2))
-		d.Apply1Q(g.Qubits[0], [2][2]complex128{{e0, 0}, {0, e1}})
+		return [2][2]complex128{{e0, 0}, {0, e1}}, true
 	case GateP:
-		e := cmplx.Exp(complex(0, g.Theta))
-		d.Apply1Q(g.Qubits[0], [2][2]complex128{{1, 0}, {0, e}})
+		return [2][2]complex128{{1, 0}, {0, cmplx.Exp(complex(0, g.Theta))}}, true
+	}
+	return m, false
+}
+
+// applyDiag1Q multiplies amplitudes by e0 where qubit q is 0 and e1 where it
+// is 1 — a single sweep with no partner loads, replacing the paired
+// load/store of Apply1Q for diagonal gates. Bit-identical to Apply1Q with
+// the matrix diag(e0, e1): the off-diagonal products it skips are exact
+// complex zeros.
+func (d *Dense) applyDiag1Q(q int, e0, e1 complex128) {
+	bit := uint64(1) << uint(q)
+	d.forShards(func(lo, hi uint64) {
+		amps := d.amps
+		for i := lo; i < hi; i++ {
+			if i&bit == 0 {
+				amps[i] *= e0
+			} else {
+				amps[i] *= e1
+			}
+		}
+	})
+}
+
+// ApplyGate applies one gate of the IR.
+func (d *Dense) ApplyGate(g Gate) {
+	switch g.Kind {
+	case GateRZ:
+		d.applyDiag1Q(g.Qubits[0], cmplx.Exp(complex(0, -g.Theta/2)), cmplx.Exp(complex(0, g.Theta/2)))
+	case GateP:
+		d.applyDiag1Q(g.Qubits[0], 1, cmplx.Exp(complex(0, g.Theta)))
+	case GateX, GateH, GateSX, GateRX, GateRY:
+		m, _ := mat1Q(g)
+		d.Apply1Q(g.Qubits[0], m)
 	case GateCX:
 		d.applyCX(g.Qubits[0], g.Qubits[1])
 	case GateSWAP:

@@ -1,0 +1,210 @@
+package quantum
+
+import (
+	"context"
+	"math/cmplx"
+)
+
+// Gate fusion for the dense simulator: a compile pass that shrinks the
+// number of full statevector sweeps a circuit costs. Two peephole rules,
+// both standard in statevector simulators:
+//
+//  1. Adjacent single-qubit gates on the same qubit multiply into one 2×2
+//     matrix — one paired sweep instead of k.
+//  2. Runs of diagonal gates (RZ, P, CP, MCP) collapse into a single
+//     phase-table sweep: diagonal gates commute with each other, so any
+//     maximal run becomes one pass applying Π e^{iθ_k·[mask_k ⊆ x]} (plus a
+//     global scalar from the RZ decomposition RZ(θ) = e^{-iθ/2}·P(θ)).
+//
+// A diagonal single-qubit gate arriving right after a pending 1q fusion on
+// the same qubit is absorbed into the matrix instead (rule 1 wins: it is
+// free). Everything else passes through unchanged. Fusion preserves the
+// operator product exactly; floating-point results differ from unfused
+// execution only by matrix-product rounding (well under differential-oracle
+// tolerances).
+//
+// The transition-operator circuits this repository compiles are an ideal
+// target: OperatorCircuit emits H·MCP·MCP·H cores whose two adjacent MCPs
+// always merge into one sweep.
+
+type fusedKind uint8
+
+const (
+	fuse1Q fusedKind = iota
+	fuseDiag
+	fuseGate
+)
+
+// fusedOp is one executable unit of a fused circuit: a 2×2 matrix on one
+// qubit, a diagonal phase table, or a passthrough gate.
+type fusedOp struct {
+	kind fusedKind
+	// fuse1Q
+	q int
+	m [2][2]complex128
+	// fuseDiag: amplitude x picks up global·Π{phases[k] : x&masks[k]==masks[k]}.
+	masks  []uint64
+	thetas []float64
+	phases []complex128
+	global complex128
+	// fuseGate
+	g Gate
+}
+
+func (op *fusedOp) addDiagTerm(mask uint64, theta float64, global complex128) {
+	op.global *= global
+	for k, m := range op.masks {
+		if m == mask {
+			op.thetas[k] += theta
+			op.phases[k] = cmplx.Exp(complex(0, op.thetas[k]))
+			return
+		}
+	}
+	op.masks = append(op.masks, mask)
+	op.thetas = append(op.thetas, theta)
+	op.phases = append(op.phases, cmplx.Exp(complex(0, theta)))
+}
+
+// diagTerm decomposes a diagonal gate into (mask, θ, global scalar):
+// the gate multiplies amplitude x by global·e^{iθ} when x&mask==mask and by
+// global otherwise.
+func diagTerm(g Gate) (mask uint64, theta float64, global complex128) {
+	switch g.Kind {
+	case GateRZ:
+		// diag(e^{-iθ/2}, e^{iθ/2}) = e^{-iθ/2} · diag(1, e^{iθ})
+		return 1 << uint(g.Qubits[0]), g.Theta, cmplx.Exp(complex(0, -g.Theta/2))
+	case GateP:
+		return 1 << uint(g.Qubits[0]), g.Theta, 1
+	case GateCP, GateMCP:
+		for _, q := range g.Qubits {
+			mask |= 1 << uint(q)
+		}
+		return mask, g.Theta, 1
+	}
+	panic("quantum: diagTerm on non-diagonal gate " + g.Kind.String())
+}
+
+// FusedCircuit is the compiled form of a Circuit under the fusion rules
+// above. It is immutable after Fuse and safe for concurrent RunFused calls
+// on distinct states.
+type FusedCircuit struct {
+	NumQubits int
+	// NumGates is the original gate count (the fused op count is NumOps).
+	NumGates int
+	ops      []fusedOp
+}
+
+// NumOps returns the number of fused operations (≤ NumGates).
+func (f *FusedCircuit) NumOps() int { return len(f.ops) }
+
+// Fuse compiles c into a FusedCircuit.
+func Fuse(c *Circuit) *FusedCircuit {
+	f := &FusedCircuit{NumQubits: c.NumQubits, NumGates: len(c.Gates)}
+	for _, g := range c.Gates {
+		switch g.Kind {
+		case GateRZ, GateP, GateCP, GateMCP:
+			if n := len(f.ops); (g.Kind == GateRZ || g.Kind == GateP) &&
+				n > 0 && f.ops[n-1].kind == fuse1Q && f.ops[n-1].q == g.Qubits[0] {
+				m, _ := mat1Q(g)
+				f.ops[n-1].m = mul2x2(m, f.ops[n-1].m)
+				continue
+			}
+			mask, theta, global := diagTerm(g)
+			if n := len(f.ops); n > 0 && f.ops[n-1].kind == fuseDiag {
+				f.ops[n-1].addDiagTerm(mask, theta, global)
+				continue
+			}
+			op := fusedOp{kind: fuseDiag, global: 1}
+			op.addDiagTerm(mask, theta, global)
+			f.ops = append(f.ops, op)
+		case GateX, GateH, GateSX, GateRX, GateRY:
+			m, _ := mat1Q(g)
+			if n := len(f.ops); n > 0 && f.ops[n-1].kind == fuse1Q && f.ops[n-1].q == g.Qubits[0] {
+				f.ops[n-1].m = mul2x2(m, f.ops[n-1].m)
+				continue
+			}
+			f.ops = append(f.ops, fusedOp{kind: fuse1Q, q: g.Qubits[0], m: m})
+		default:
+			f.ops = append(f.ops, fusedOp{kind: fuseGate, g: g})
+		}
+	}
+	return f
+}
+
+// mul2x2 returns a·b — the matrix of "apply b, then a".
+func mul2x2(a, b [2][2]complex128) [2][2]complex128 {
+	return [2][2]complex128{
+		{a[0][0]*b[0][0] + a[0][1]*b[1][0], a[0][0]*b[0][1] + a[0][1]*b[1][1]},
+		{a[1][0]*b[0][0] + a[1][1]*b[1][0], a[1][0]*b[0][1] + a[1][1]*b[1][1]},
+	}
+}
+
+// applyFusedDiag applies one collapsed diagonal run: a single sweep that
+// multiplies each amplitude by the product of the matching phase terms.
+func (d *Dense) applyFusedDiag(op *fusedOp) {
+	masks, phases, global := op.masks, op.phases, op.global
+	if len(masks) == 1 && global == 1 {
+		// The common shape after merging an MCP pair: one mask, no global
+		// scalar — a single conditional-multiply sweep, same cost as one
+		// unfused MCP.
+		m, ph := masks[0], phases[0]
+		d.forShards(func(lo, hi uint64) {
+			amps := d.amps
+			for i := lo; i < hi; i++ {
+				if i&m == m {
+					amps[i] *= ph
+				}
+			}
+		})
+		return
+	}
+	d.forShards(func(lo, hi uint64) {
+		amps := d.amps
+		for i := lo; i < hi; i++ {
+			f := global
+			for k, m := range masks {
+				if i&m == m {
+					f *= phases[k]
+				}
+			}
+			// ×1 is exact in IEEE arithmetic, so skipping it is free and
+			// keeps untouched amplitudes bit-identical to unfused execution.
+			if f != 1 {
+				amps[i] *= f
+			}
+		}
+	})
+}
+
+// RunFused applies every fused operation in order.
+func (d *Dense) RunFused(f *FusedCircuit) {
+	_ = d.RunFusedCtx(context.Background(), f)
+}
+
+// RunFusedCtx is RunFused with cooperative cancellation, mirroring RunCtx:
+// ctx is checked before every fused op and at chunk granularity inside the
+// sharded kernels; the register's contents are unspecified after a non-nil
+// return.
+func (d *Dense) RunFusedCtx(ctx context.Context, f *FusedCircuit) error {
+	if f.NumQubits > d.n {
+		panic("quantum: fused circuit wider than register")
+	}
+	prev := d.ctx
+	d.ctx = ctx
+	defer func() { d.ctx = prev }()
+	for i := range f.ops {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		op := &f.ops[i]
+		switch op.kind {
+		case fuse1Q:
+			d.Apply1Q(op.q, op.m)
+		case fuseDiag:
+			d.applyFusedDiag(op)
+		default:
+			d.ApplyGate(op.g)
+		}
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,182 @@
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"rasengan/internal/bitvec"
+	"rasengan/internal/parallel"
+)
+
+// randCircuit emits a circuit mixing every gate kind the fusion pass can
+// see: fusible 1q gates, diagonal runs, and passthrough entanglers.
+func randCircuit(rng *rand.Rand, n, gates int) *Circuit {
+	c := NewCircuit(n)
+	for g := 0; g < gates; g++ {
+		q := rng.Intn(n)
+		th := rng.Float64()*2*math.Pi - math.Pi
+		switch rng.Intn(11) {
+		case 0:
+			c.X(q)
+		case 1:
+			c.H(q)
+		case 2:
+			c.SX(q)
+		case 3:
+			c.RX(q, th)
+		case 4:
+			c.RY(q, th)
+		case 5:
+			c.RZ(q, th)
+		case 6:
+			c.P(q, th)
+		case 7:
+			c.CX(q, (q+1)%n)
+		case 8:
+			c.SWAP(q, (q+1)%n)
+		case 9:
+			c.CP(q, (q+1)%n, th)
+		default:
+			c.MCP([]int{q, (q + 1) % n, (q + 2) % n}, th)
+		}
+	}
+	return c
+}
+
+// TestRunFusedMatchesRun checks fusion preserves the operator product on
+// random circuits: every amplitude agrees with unfused execution to well
+// under the differential-oracle tolerance.
+func TestRunFusedMatchesRun(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(300 + trial)))
+		n := 3 + rng.Intn(5)
+		c := randCircuit(rng, n, 10+rng.Intn(40))
+		plain := NewDense(n)
+		plain.Run(c)
+		f := Fuse(c)
+		if f.NumOps() > f.NumGates {
+			t.Fatalf("trial %d: fusion grew the circuit: %d ops from %d gates", trial, f.NumOps(), f.NumGates)
+		}
+		fused := NewDense(n)
+		fused.RunFused(f)
+		for i := uint64(0); i < uint64(1)<<uint(n); i++ {
+			if d := cmplx.Abs(plain.Amplitude(i) - fused.Amplitude(i)); d > 1e-12 {
+				t.Fatalf("trial %d: amp %d diverges by %g (fused %d ops from %d gates)",
+					trial, i, d, f.NumOps(), f.NumGates)
+			}
+		}
+	}
+}
+
+// TestFuseCollapsesTransitionCore pins the shape OperatorCircuit produces:
+// the two adjacent MCPs of the H·MCP·MCP·H core must collapse into a single
+// diagonal sweep, and same-mask terms must merge into one phase entry.
+func TestFuseCollapsesTransitionCore(t *testing.T) {
+	c := NewCircuit(4)
+	c.H(0)
+	c.MCP([]int{0, 1, 2}, 0.7)
+	c.MCP([]int{0, 1, 2}, -1.3)
+	c.H(0)
+	f := Fuse(c)
+	if f.NumOps() != 3 {
+		t.Fatalf("fused into %d ops, want 3 (H, diag, H)", f.NumOps())
+	}
+	diag := &f.ops[1]
+	if diag.kind != fuseDiag {
+		t.Fatalf("middle op is kind %d, want fuseDiag", diag.kind)
+	}
+	if len(diag.masks) != 1 {
+		t.Fatalf("same-mask MCPs kept %d phase entries, want 1", len(diag.masks))
+	}
+	if got := diag.thetas[0]; math.Abs(got-(0.7-1.3)) > 1e-15 {
+		t.Fatalf("merged angle %g, want %g", got, 0.7-1.3)
+	}
+}
+
+// TestFuseMergesOneQubitRuns checks rule 1: a run of 1q gates on one qubit
+// (including trailing diagonals, which get absorbed into the matrix) becomes
+// a single 2×2 sweep.
+func TestFuseMergesOneQubitRuns(t *testing.T) {
+	c := NewCircuit(2)
+	c.H(0)
+	c.RX(0, 0.4)
+	c.RZ(0, 1.1)
+	c.P(0, -0.2)
+	c.RY(0, 0.9)
+	f := Fuse(c)
+	if f.NumOps() != 1 {
+		t.Fatalf("fused into %d ops, want 1", f.NumOps())
+	}
+	// Interleaving a different qubit must break the run.
+	c.H(1)
+	c.RX(0, 0.3)
+	f = Fuse(c)
+	if f.NumOps() != 3 {
+		t.Fatalf("fused into %d ops, want 3", f.NumOps())
+	}
+}
+
+// TestDiagFastPathMatchesApply1Q verifies the RZ/P fast path in ApplyGate is
+// exactly the gate's 2×2 matrix action: on a register with every amplitude
+// nonzero the single-sweep diagonal update equals the generic Apply1Q.
+func TestDiagFastPathMatchesApply1Q(t *testing.T) {
+	n := 5
+	prep := func() *Dense {
+		d := NewDense(n)
+		for q := 0; q < n; q++ {
+			d.Run(func() *Circuit { c := NewCircuit(n); c.H(q); c.RX(q, 0.3+float64(q)); return c }())
+		}
+		return d
+	}
+	for _, g := range []Gate{
+		{Kind: GateRZ, Qubits: []int{2}, Theta: 0.77},
+		{Kind: GateP, Qubits: []int{4}, Theta: -1.9},
+	} {
+		fast := prep()
+		fast.ApplyGate(g)
+		slow := prep()
+		m, ok := mat1Q(g)
+		if !ok {
+			t.Fatalf("mat1Q rejected %v", g.Kind)
+		}
+		slow.Apply1Q(g.Qubits[0], m)
+		for i := uint64(0); i < uint64(1)<<uint(n); i++ {
+			if d := cmplx.Abs(fast.Amplitude(i) - slow.Amplitude(i)); d > 1e-15 {
+				t.Fatalf("%v: amp %d diverges by %g", g.Kind, i, d)
+			}
+		}
+	}
+}
+
+// TestNoiseFreeSamplingUsesSharedEvolution checks the pooled noise-free path
+// end to end: zero-noise SampleDenseNoisy equals sampling the fused-evolved
+// register per trajectory with the same derived rng streams.
+func TestNoiseFreeSamplingUsesSharedEvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	n := 6
+	c := randCircuit(rng, n, 30)
+	init := NewDense(n)
+
+	seedRng := rand.New(rand.NewSource(123))
+	got := SampleDenseNoisy(c, init, nil, 1000, 8, seedRng)
+
+	base := rand.New(rand.NewSource(123)).Int63()
+	ideal := init.Clone()
+	ideal.RunFused(Fuse(c))
+	want := make(map[bitvec.Vec]int)
+	for tr := 0; tr < 8; tr++ {
+		for x, cnt := range ideal.Sample(parallel.NewRand(base, uint64(tr)), 125) {
+			want[x] += cnt
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("count maps differ in size: %d vs %d", len(got), len(want))
+	}
+	for x, cnt := range got {
+		if want[x] != cnt {
+			t.Fatalf("count mismatch at %s: %d vs %d", x, cnt, want[x])
+		}
+	}
+}

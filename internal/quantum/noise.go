@@ -5,10 +5,44 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"rasengan/internal/bitvec"
 	"rasengan/internal/parallel"
 )
+
+// denseScratchPool recycles trajectory statevectors: SampleDenseNoisy runs
+// trajectories × (segments × states) evolutions per solve, and a 2^n
+// complex128 clone per trajectory was the dominant steady-state allocation
+// of the noisy path. Buffers are reused across trajectories and across
+// calls; a pooled register too small for the requested width is dropped on
+// the floor for the GC.
+var denseScratchPool sync.Pool
+
+// denseFromPool returns a Dense that is a copy of init, backed by pooled
+// storage when a large-enough buffer is available. Callers must release()
+// it when done and not touch it afterwards.
+func denseFromPool(init *Dense, ctx context.Context) *Dense {
+	if v := denseScratchPool.Get(); v != nil {
+		d := v.(*Dense)
+		if cap(d.amps) >= len(init.amps) {
+			d.amps = d.amps[:len(init.amps)]
+			copy(d.amps, init.amps)
+			d.n = init.n
+			d.ctx = ctx
+			return d
+		}
+	}
+	c := init.Clone()
+	c.ctx = ctx
+	return c
+}
+
+// release returns a pooled (or poolable) register to the scratch pool.
+func (d *Dense) release() {
+	d.ctx = nil
+	denseScratchPool.Put(d)
+}
 
 // NoiseModel describes the NISQ error channels of the evaluation section.
 // Probabilities are per gate (for depolarizing) or per touched qubit per
@@ -199,39 +233,61 @@ func SampleDenseNoisyCtx(ctx context.Context, c *Circuit, init *Dense, nm *Noise
 		extra = shots % trajectories
 	}
 	perTraj := make([]map[bitvec.Vec]int, trajectories)
-	_ = parallel.ForCtx(ctx, trajectories, func(t int) {
-		n := perShare
-		if t < extra {
-			n++
+	if nm.IsZero() {
+		// Noise-free trajectories all evolve to the same state: evolve once
+		// through the fused circuit (one sweep per fused op instead of one
+		// per gate), then let every trajectory sample the shared read-only
+		// register with its own rng stream. Counts match the per-trajectory
+		// evolution up to fusion's matrix-product rounding.
+		ideal := denseFromPool(init, ctx)
+		defer ideal.release()
+		if err := ideal.RunFusedCtx(ctx, Fuse(c)); err != nil {
+			return nil, err
 		}
-		if n == 0 {
-			return
-		}
-		trng := parallel.NewRand(base, uint64(t))
-		d := init.Clone().WithContext(ctx)
-		for _, g := range c.Gates {
-			if ctx.Err() != nil {
+		_ = parallel.ForCtx(ctx, trajectories, func(t int) {
+			n := perShare
+			if t < extra {
+				n++
+			}
+			if n == 0 {
 				return
 			}
-			d.ApplyGate(g)
-			if !nm.IsZero() {
+			perTraj[t] = ideal.Sample(parallel.NewRand(base, uint64(t)), n)
+		})
+	} else {
+		_ = parallel.ForCtx(ctx, trajectories, func(t int) {
+			n := perShare
+			if t < extra {
+				n++
+			}
+			if n == 0 {
+				return
+			}
+			trng := parallel.NewRand(base, uint64(t))
+			d := denseFromPool(init, ctx)
+			defer d.release()
+			for _, g := range c.Gates {
+				if ctx.Err() != nil {
+					return
+				}
+				d.ApplyGate(g)
 				nm.afterGateDense(d, g, trng)
 			}
-		}
-		counts := d.Sample(trng, n)
-		if !nm.IsZero() && nm.ReadoutError > 0 {
-			// Iterate in sorted key order: readout flips consume the
-			// trajectory rng, so map-iteration order must not leak in.
-			flipped := make(map[bitvec.Vec]int, len(counts))
-			for _, x := range sortedCountKeys(counts) {
-				for i := 0; i < counts[x]; i++ {
-					flipped[nm.ApplyReadout(x, trng)]++
+			counts := d.Sample(trng, n)
+			if nm.ReadoutError > 0 {
+				// Iterate in sorted key order: readout flips consume the
+				// trajectory rng, so map-iteration order must not leak in.
+				flipped := make(map[bitvec.Vec]int, len(counts))
+				for _, x := range sortedCountKeys(counts) {
+					for i := 0; i < counts[x]; i++ {
+						flipped[nm.ApplyReadout(x, trng)]++
+					}
 				}
+				counts = flipped
 			}
-			counts = flipped
-		}
-		perTraj[t] = counts
-	})
+			perTraj[t] = counts
+		})
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -49,6 +49,11 @@ type Config struct {
 	// JobRetention bounds how many terminal jobs stay queryable via
 	// GET /v1/jobs (default 1024).
 	JobRetention int
+	// Engine is the server-wide execution engine (core.EngineMap or
+	// core.EngineCompiled; empty = core default) applied to every solve.
+	// It is deliberately not part of the request schema or the cache key:
+	// the engines are bit-identical, so one cached payload serves both.
+	Engine string
 	// Logger receives structured job-lifecycle records (accepted, running,
 	// done/failed/cancelled) with job_id/spec_hash/stage fields. Nil
 	// discards them; the serving binary passes a JSON handler.
@@ -234,6 +239,7 @@ type solveConfig struct {
 
 func (s *Server) buildOptions(c solveConfig) (core.Options, error) {
 	var opts core.Options
+	opts.Exec.Engine = s.cfg.Engine
 	opts.Seed = c.Seed
 	if c.MaxIter < 0 || c.MaxIter > s.cfg.MaxIter {
 		return opts, fmt.Errorf("max_iter %d out of range [0,%d]", c.MaxIter, s.cfg.MaxIter)

@@ -280,6 +280,7 @@ func (cr *caseRunner) specCanonicalCheck() {
 func (cr *caseRunner) solveChecks() {
 	p := cr.tc.p
 	opts := core.Options{MaxIter: cr.cfg.SolveIters, Seed: 1}
+	opts.Exec.Engine = cr.cfg.Engine
 	prev := parallel.Workers()
 	defer parallel.SetWorkers(prev)
 
@@ -303,6 +304,17 @@ func (cr *caseRunner) solveChecks() {
 		cr.checkf("metamorphic_row_reorder_solve", ok, 0,
 			"row-reordered constraints changed the solve payload (err=%v)", errRow)
 	}
+
+	// Engine identity: the two engines are bit-compatible, so a full solve
+	// must serialize to byte-identical wire payloads under either one.
+	mo, co := opts, opts
+	mo.Exec.Engine = core.EngineMap
+	co.Exec.Engine = core.EngineCompiled
+	payM, errM := solvePayload(p, mo)
+	payC, errC := solvePayload(p, co)
+	okEng := errM == nil && errC == nil && bytes.Equal(payM, payC)
+	cr.checkf("engine_payload_identity", okEng, 0,
+		"map and compiled engines produced different solve payloads (%v / %v)", errM, errC)
 }
 
 // solvePayload runs a full solve and renders the service's deterministic

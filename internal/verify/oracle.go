@@ -150,6 +150,100 @@ func (cr *caseRunner) denseDiffCheck(sp *quantum.Sparse, ops []core.Transition, 
 		"max |Δamp| = %.3g over %d ops (tolerance %.0e)", diff, len(ops), AmpTol)
 }
 
+// compiledDiffCheck evolves the compiled feasible-subspace engine through
+// the same transition sequence and asserts amplitude-level agreement with
+// the sparse reference. Unlike the dense rungs this one runs at any
+// register width: the compiled space is polynomial in the reachable
+// feasible support, not 2^n. The two engines share pairing arithmetic and
+// pruning, so agreement is expected to be exact; the check still measures
+// and reports the divergence against AmpTol. Cases whose reachable closure
+// exceeds the compile budget skip the rung — the production executor falls
+// back to the map engine there anyway.
+func (cr *caseRunner) compiledDiffCheck(sp *quantum.Sparse, ops []core.Transition, times []float64) {
+	p := cr.tc.p
+	opsU := make([][]int64, len(ops))
+	for i, op := range ops {
+		opsU[i] = op.U
+	}
+	cs, ok := quantum.CompileSpace(p.Init, opsU, 0)
+	if !ok {
+		return
+	}
+	st := cs.NewState()
+	if !st.ResetState(p.Init) {
+		cr.checkf("compiled_engine_seed", false, 0,
+			"feasible seed missing from the compiled space (%d states)", cs.Size())
+		return
+	}
+	for i := range opsU {
+		st.ApplyTransition(i, times[i])
+	}
+	ref := sp
+	if cr.cfg.InjectAmplitudeFault {
+		ref = sp.Clone()
+		sup := ref.Support()
+		x := sup[0]
+		for _, y := range sup { // corrupt the largest amplitude
+			if cmplx.Abs(ref.Amplitude(y)) > cmplx.Abs(ref.Amplitude(x)) {
+				x = y
+			}
+		}
+		ref.SetAmplitude(x, ref.Amplitude(x)+complex(faultEpsilon, 0))
+		cr.faultInjected = true
+	}
+	cr.checkf("compiled_engine_support", ref.Size() == st.Size(), 0,
+		"support %d (sparse) vs %d (compiled) over %d ops", ref.Size(), st.Size(), len(ops))
+	maxDiff := 0.0
+	for _, x := range ref.Support() {
+		if diff := cmplx.Abs(ref.Amplitude(x) - st.Amplitude(x)); diff > maxDiff {
+			maxDiff = diff
+		}
+	}
+	cr.checkf("compiled_engine_amplitude", maxDiff < AmpTol, maxDiff,
+		"max |Δamp| = %.3g over %d ops (compiled space: %d states, %d pairs)",
+		maxDiff, len(ops), cs.Size(), cs.NumPairs())
+}
+
+// engineEquivalenceCheck runs the production executor's exact path under
+// both engines and asserts the purified output distributions are identical
+// — the executor-level form of the compiled rung, covering segmenting,
+// purification, and normalization on top of raw evolution.
+func (cr *caseRunner) engineEquivalenceCheck(ops []core.Transition, times []float64) {
+	p := cr.tc.p
+	mapEx, errM := core.NewExecutor(p, ops, core.ExecOptions{Engine: core.EngineMap})
+	compEx, errC := core.NewExecutor(p, ops, core.ExecOptions{Engine: core.EngineCompiled})
+	if errM != nil || errC != nil {
+		cr.checkf("engine_distribution_identity", false, 0,
+			"executor construction failed: %v / %v", errM, errC)
+		return
+	}
+	if compEx.EngineUsed != core.EngineCompiled {
+		return // compile budget exceeded: nothing to compare
+	}
+	dm, errM := mapEx.Run(times, nil)
+	dc, errC := compEx.Run(times, nil)
+	if errM != nil || errC != nil {
+		cr.checkf("engine_distribution_identity", false, 0,
+			"exact run failed: %v / %v", errM, errC)
+		return
+	}
+	mismatch := len(dm) != len(dc)
+	maxDiff := 0.0
+	for _, x := range sortedVecKeys(dm) {
+		pc, ok := dc[x]
+		if !ok {
+			mismatch = true
+			continue
+		}
+		if diff := math.Abs(dm[x] - pc); diff > maxDiff {
+			maxDiff = diff
+		}
+	}
+	cr.checkf("engine_distribution_identity", !mismatch && maxDiff == 0, maxDiff,
+		"map and compiled engines disagree: support mismatch=%v, max |Δp| = %.3g",
+		mismatch, maxDiff)
+}
+
 // gateDiffCheck executes the gate-level OperatorCircuit of each
 // transition on the dense simulator and compares (phase-aligned) against
 // a sparse state evolved through the analytic exp(-i·H^τ·t) — the check
@@ -255,7 +349,7 @@ func (cr *caseRunner) energyBoundChecks(ops []core.Transition, times []float64) 
 	if cr.ref == nil {
 		return
 	}
-	exec, err := core.NewExecutor(p, ops, core.ExecOptions{})
+	exec, err := core.NewExecutor(p, ops, core.ExecOptions{Engine: cr.cfg.Engine})
 	if err != nil {
 		cr.checkf("energy_executor", false, 0, "executor construction failed: %v", err)
 		return

@@ -89,6 +89,8 @@ func (cr *caseRunner) run(solve bool) {
 	// Differential ladder: sparse invariants, then each costlier rung.
 	sp := cr.sparseLayerChecks(ops, times)
 	cr.denseDiffCheck(sp, ops, times)
+	cr.compiledDiffCheck(sp, ops, times)
+	cr.engineEquivalenceCheck(ops, times)
 	cr.gateDiffCheck(ops, times)
 	cr.decomposedDiffCheck(ops, times)
 	cr.energyBoundChecks(ops, times)
