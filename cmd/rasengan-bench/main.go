@@ -46,6 +46,7 @@ func main() {
 		engine    = flag.String("engine", "", "Rasengan execution engine: map or compiled (default: compiled)")
 		jsonDir   = flag.String("json", "", "also write each experiment's structured result as JSON into this directory")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON of every solve's stage spans (open in chrome://tracing or Perfetto)")
+		ckptDir   = flag.String("checkpoint", "", "checkpoint every Rasengan solve into this directory and resume from matching checkpoints, so an interrupted sweep continues instead of restarting")
 	)
 	wf := parallel.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -65,6 +66,11 @@ func main() {
 	// sweep to a hard kill.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
 	cfg := experiments.Config{
 		Cases:          *cases,
 		MaxIter:        *iters,
@@ -76,6 +82,7 @@ func main() {
 		Engine:         *engine,
 		Workers:        workers,
 		Ctx:            ctx,
+		CheckpointDir:  *ckptDir,
 	}
 	// One recorder spans the whole run: every Rasengan solve any selected
 	// experiment performs lands in the same trace, each on its own tracks.
@@ -111,8 +118,9 @@ func main() {
 		"summary":  func() (renderer, error) { return experiments.Summary(cfg) },
 		"ablation": func() (renderer, error) { return experiments.Ablation(cfg) },
 		"gallery":  func() (renderer, error) { return experiments.Gallery(cfg, "") },
+		"persist":  func() (renderer, error) { return experiments.Persist(cfg) },
 	}
-	order := []string{"table1", "table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "summary", "ablation", "gallery"}
+	order := []string{"table1", "table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "summary", "ablation", "gallery", "persist"}
 
 	var names []string
 	if *exp == "all" {

@@ -7,6 +7,7 @@
 //
 //	rasengan-inspect -bench G3
 //	rasengan-inspect -bench F2 -circuits -qasm
+//	rasengan-inspect -checkpoint run.ckpt   # summarize a solve checkpoint
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"rasengan/internal/parallel"
 	"rasengan/internal/problems"
 	"rasengan/internal/quantum"
+	"rasengan/internal/store"
 	"rasengan/internal/transpile"
 )
 
@@ -41,12 +43,33 @@ func main() {
 		dumpProb  = flag.String("dump-problem", "", "write the instance as JSON to this path")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON of the offline stages (open in chrome://tracing or Perfetto)")
 		engine    = flag.String("engine", "", "execution engine to compile for: map or compiled (default: compiled)")
+		ckptFile  = flag.String("checkpoint", "", "summarize this solve checkpoint file and exit")
 	)
 	wf := parallel.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if _, err := wf.Apply(); err != nil {
 		log.Fatal(err)
+	}
+	if *ckptFile != "" {
+		// Standalone mode: describe a -checkpoint file written by
+		// rasengan-solve/-bench without needing the originating instance.
+		// LoadCheckpoint resolves live slot files (interrupted run) and
+		// the published canonical file alike.
+		data, err := store.LoadCheckpoint(*ckptFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ck, err := core.ParseCheckpoint(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total, done := ck.Starts()
+		fmt.Printf("checkpoint %s (%d bytes, format v%d)\n", *ckptFile, len(data), ck.Version())
+		fmt.Printf("  problem: %s (%d variables)\n", ck.Problem(), ck.Vars())
+		fmt.Printf("  starts:  %d/%d finished\n", done, total)
+		fmt.Println("  resume:  rasengan-solve -resume", *ckptFile)
+		return
 	}
 	if *caseIdx < 0 {
 		log.Fatalf("-case must be >= 0 (got %d)", *caseIdx)

@@ -6,16 +6,26 @@
 //
 //	rasengan-serve -addr :8080
 //	rasengan-serve -addr :8080 -executors 4 -queue 128 -cache 512
+//	rasengan-serve -addr :8080 -data-dir /var/lib/rasengan        # durable jobs
 //	rasengan-serve -addr :8080 -debug-addr 127.0.0.1:6060   # pprof + expvar
 //
 // API:
 //
 //	POST /v1/solve            submit a problem spec (optionally wait inline)
+//	GET  /v1/jobs             list jobs (?state=done&limit=50&offset=0)
 //	GET  /v1/jobs/{id}        poll job status / fetch the result
 //	POST /v1/jobs/{id}/cancel cancel a queued or running job
 //	GET  /v1/problems         list generator families × scales
 //	GET  /healthz             liveness
 //	GET  /metrics             Prometheus text format
+//
+// With -data-dir set, accepted jobs are journaled to a write-ahead log
+// and result payloads to a content-addressed blob store under that
+// directory. After a crash or restart the journal replays: finished
+// jobs stay queryable (and re-seed the result cache), interrupted jobs
+// are re-enqueued under their original ids, and the warm-start
+// parameter store survives. Without the flag the server is fully
+// in-memory, as before.
 //
 // Example:
 //
@@ -110,6 +120,9 @@ func main() {
 		maxVars   = flag.Int("max-vars", 40, "largest accepted problem width in variables")
 		drainWait = flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for accepted jobs")
 		engine    = flag.String("engine", "", "execution engine for every solve: map or compiled (default: compiled; not part of the cache key)")
+		dataDir   = flag.String("data-dir", "", "durable state directory (job journal, result blobs, warm-start store); empty = in-memory only")
+		retention = flag.Int("retention", 1024, "terminal jobs kept queryable via GET /v1/jobs")
+		warmCap   = flag.Int("warm-capacity", 4096, "warm-start parameter vectors retained (with -data-dir)")
 	)
 	wf := parallel.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -141,18 +154,30 @@ func main() {
 	if !core.ValidEngine(*engine) {
 		fatal("-engine must be \"map\" or \"compiled\"", "got", *engine)
 	}
+	if *retention < 1 {
+		fatal("-retention must be >= 1", "got", *retention)
+	}
+	if *warmCap < 1 {
+		fatal("-warm-capacity must be >= 1", "got", *warmCap)
+	}
 	applyFaultInjection(os.Getenv("RASENGAN_FAULT"), logger)
 
-	srv := service.New(service.Config{
-		QueueCapacity:  *queueCap,
-		Executors:      *executors,
-		CacheEntries:   *cacheSize,
-		DefaultTimeout: *timeout,
-		MaxIter:        *maxIter,
-		MaxVars:        *maxVars,
-		Engine:         *engine,
-		Logger:         logger,
+	srv, err := service.Open(service.Config{
+		QueueCapacity:     *queueCap,
+		Executors:         *executors,
+		CacheEntries:      *cacheSize,
+		DefaultTimeout:    *timeout,
+		MaxIter:           *maxIter,
+		MaxVars:           *maxVars,
+		JobRetention:      *retention,
+		DataDir:           *dataDir,
+		WarmStartCapacity: *warmCap,
+		Engine:            *engine,
+		Logger:            logger,
 	})
+	if err != nil {
+		fatal("open durable state", "data_dir", *dataDir, "error", err.Error())
+	}
 
 	if *debugAddr != "" {
 		dbgSrv := &http.Server{Addr: *debugAddr, Handler: debugHandler(), ReadHeaderTimeout: 10 * time.Second}
@@ -195,6 +220,9 @@ func main() {
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Warn("shutdown", "error", err.Error())
+	}
+	if err := srv.Close(); err != nil {
+		logger.Warn("close durable state", "error", err.Error())
 	}
 	logger.Info("drained, exiting")
 }

@@ -6,6 +6,8 @@
 //	rasengan-solve -bench F2 -case 0 -iters 150
 //	rasengan-solve -bench G3 -device kyiv -shots 1024
 //	rasengan-solve -family FLP -demands 4 -facilities 3
+//	rasengan-solve -bench G4 -checkpoint g4.ckpt        # Ctrl-C safe
+//	rasengan-solve -bench G4 -resume g4.ckpt            # continue, bit-identical
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"rasengan/internal/device"
 	"rasengan/internal/parallel"
 	"rasengan/internal/problems"
+	"rasengan/internal/store"
 )
 
 func main() {
@@ -46,6 +49,9 @@ func main() {
 		draw       = flag.Bool("draw", false, "draw the first transition-operator circuit")
 		emitQASM   = flag.Bool("qasm", false, "print the first transition-operator circuit as OpenQASM 2.0")
 		traceFile  = flag.String("trace", "", "write a Chrome trace-event JSON of the solve's stage spans (open in chrome://tracing or Perfetto)")
+		ckptFile   = flag.String("checkpoint", "", "write a resumable mid-solve checkpoint to this path (crash-safe slot files during the run, published to the path itself on exit)")
+		ckptEvery  = flag.Int("checkpoint-every", 1, "checkpoint once per this many optimizer iterations (with -checkpoint)")
+		resumeFile = flag.String("resume", "", "resume an interrupted solve from this checkpoint file")
 	)
 	wf := parallel.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -66,6 +72,9 @@ func main() {
 	}
 	if !rasengan.ValidEngine(*engine) {
 		log.Fatalf("-engine must be %q or %q (got %q)", rasengan.EngineMap, rasengan.EngineCompiled, *engine)
+	}
+	if *ckptEvery < 1 {
+		log.Fatalf("-checkpoint-every must be >= 1 (got %d)", *ckptEvery)
 	}
 	if *bench == "" && *probFile == "" {
 		if !problems.KnownFamily(*family) {
@@ -102,6 +111,33 @@ func main() {
 	opts := rasengan.SolveOptions{MaxIter: *iters, Seed: *seed}
 	opts.Exec.Shots = *shots
 	opts.Exec.Engine = *engine
+	if *resumeFile != "" {
+		// LoadCheckpoint resolves interrupted runs (live slot files) and
+		// cleanly closed ones (plain canonical file) alike.
+		data, err := store.LoadCheckpoint(*resumeFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ck, err := rasengan.ParseCheckpoint(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Resume = ck
+		total, done := ck.Starts()
+		fmt.Printf("resuming %s from %s (%d/%d starts already finished)\n", ck.Problem(), *resumeFile, done, total)
+	}
+	var ckptW *store.CheckpointWriter
+	if *ckptFile != "" {
+		w, err := store.OpenCheckpointWriter(*ckptFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ckptW = w
+		opts.Checkpoint = &rasengan.CheckpointOptions{
+			Every: *ckptEvery,
+			Write: w.Write,
+		}
+	}
 	if *devName != "" {
 		dev, err := device.ByName(*devName)
 		if err != nil {
@@ -141,8 +177,20 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	res, err := rasengan.SolveContext(ctx, p, opts)
+	if ckptW != nil {
+		// Publish the newest checkpoint to *ckptFile itself and drop the
+		// slot files — on the interrupted path too, so -resume and
+		// rasengan-inspect -checkpoint read the canonical name. Main exits
+		// via os.Exit/log.Fatal below, which would skip a defer.
+		if cerr := ckptW.Close(); cerr != nil {
+			log.Printf("checkpoint close: %v", cerr)
+		}
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
+			if *ckptFile != "" {
+				log.Fatalf("interrupted; continue with -resume %s", *ckptFile)
+			}
 			log.Fatal("interrupted before a result was available")
 		}
 		log.Fatal(err)

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"rasengan/internal/optimize"
+	"rasengan/internal/parallel"
+	"rasengan/internal/problems"
+)
+
+// Mid-solve checkpointing. A checkpoint captures everything a Solve
+// needs to continue exactly where it stopped: the serialized pruned
+// schedule (so resume skips basis construction and the dry run), plus
+// per-start resumable state — the optimizer's internal snapshot, the
+// executor RNG stream state, and the modeled-cost accounting. The
+// contract is bit-level: an interrupted-and-resumed solve produces a
+// Result whose wire payload is byte-identical to the uninterrupted
+// run's, at any worker count.
+//
+// Options.Checkpoint and Options.Resume are deliberately excluded from
+// CanonicalOptionsJSON, like Telemetry: persistence observes the solve
+// and never steers it, so a checkpointed solve and a plain one are
+// cache-key identical.
+
+// CheckpointVersion is the current checkpoint file format version.
+const CheckpointVersion = 1
+
+// CheckpointOptions turns on mid-solve checkpoint export.
+type CheckpointOptions struct {
+	// Write persists one serialized checkpoint. It is called from solve
+	// worker goroutines under the checkpoint mutex, so implementations
+	// need not be concurrency-safe but must not call back into the
+	// solve. Each call receives a complete, self-validating file; an
+	// atomic write (temp file + rename) makes torn checkpoints
+	// impossible. The first Write error disables further checkpointing
+	// for the run — the solve itself is unaffected.
+	Write func(data []byte) error
+	// Every throttles export to one write per Every optimizer
+	// iterations per start (default 1: every iteration boundary).
+	// Start-completion records are always written.
+	Every int
+}
+
+// startCheckpoint is one multi-start slot's resumable state.
+type startCheckpoint struct {
+	// Done marks a start whose optimizer finished; X/F/OptEvals/Iters
+	// then carry its final optimize.Result verbatim and Optimizer is
+	// nil. While running, Optimizer holds the mid-run snapshot.
+	Done      bool            `json:"done"`
+	Optimizer *optimize.State `json:"optimizer,omitempty"`
+	X         []float64       `json:"x,omitempty"`
+	F         float64         `json:"f,omitempty"`
+	OptEvals  int             `json:"opt_evals,omitempty"`
+	Iters     int             `json:"iters,omitempty"`
+	// RNGState is the executor RNG stream state captured at the boundary
+	// (parallel.StreamSource.State); resume restores the stream in
+	// O(state) instead of replaying draws. Nil once the start is Done —
+	// a replayed result never touches its stream again.
+	RNGState []byte `json:"rng_state,omitempty"`
+	// Evals/QuantumNS restore the solve-level accounting that feeds
+	// Result.Evals and the modeled latency breakdown.
+	Evals     int     `json:"evals"`
+	QuantumNS float64 `json:"quantum_ns"`
+}
+
+// checkpointFile is the serialized form.
+type checkpointFile struct {
+	Version     int    `json:"version"`
+	ProblemName string `json:"problem"`
+	NumVars     int    `json:"num_vars"`
+	// Fingerprint matches constraintFingerprint(p);
+	// OptionsFingerprint matches OptionsFingerprint(opts). Both must
+	// verify before a resume is allowed: continuing a checkpoint under
+	// different constraints or solver knobs would silently produce a
+	// result neither run would have computed.
+	Fingerprint        string `json:"fingerprint"`
+	OptionsFingerprint string `json:"options_fingerprint"`
+	// Schedule is the MarshalSchedule encoding of the pruned schedule;
+	// resume restores it via UnmarshalSchedule instead of re-running
+	// basis search and the dry run.
+	Schedule json.RawMessage   `json:"schedule"`
+	Starts   []startCheckpoint `json:"starts"`
+}
+
+// Checkpoint is a parsed, not-yet-validated checkpoint.
+type Checkpoint struct {
+	file checkpointFile
+}
+
+// ParseCheckpoint decodes a checkpoint file. Files written by a newer
+// format version are rejected with a clear error rather than
+// misinterpreted.
+func ParseCheckpoint(data []byte) (*Checkpoint, error) {
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("core: checkpoint file: %w", err)
+	}
+	if f.Version > CheckpointVersion {
+		return nil, fmt.Errorf("core: checkpoint version %d is newer than this build supports (%d); upgrade to resume it", f.Version, CheckpointVersion)
+	}
+	if f.Version < 1 {
+		return nil, fmt.Errorf("core: checkpoint version %d invalid, want %d", f.Version, CheckpointVersion)
+	}
+	if len(f.Starts) == 0 {
+		return nil, fmt.Errorf("core: checkpoint holds no start state")
+	}
+	for i, st := range f.Starts {
+		if st.Done || st.Optimizer == nil {
+			continue
+		}
+		if err := parallel.ValidateStreamState(st.RNGState); err != nil {
+			return nil, fmt.Errorf("core: checkpoint start %d: %w", i, err)
+		}
+	}
+	return &Checkpoint{file: f}, nil
+}
+
+// Validate refuses a checkpoint that does not belong to exactly this
+// (problem, options) pair.
+func (c *Checkpoint) Validate(p *problems.Problem, opts Options) error {
+	if c == nil {
+		return fmt.Errorf("core: nil checkpoint")
+	}
+	if c.file.NumVars != p.N {
+		return fmt.Errorf("core: checkpoint for %d variables, problem has %d", c.file.NumVars, p.N)
+	}
+	if got := constraintFingerprint(p); c.file.Fingerprint != got {
+		return fmt.Errorf("core: checkpoint constraint fingerprint %s does not match problem %s (%s)", c.file.Fingerprint, p.Name, got)
+	}
+	if got := OptionsFingerprint(opts); c.file.OptionsFingerprint != got {
+		return fmt.Errorf("core: checkpoint was written with different solver options (fingerprint %s, want %s); resuming would not reproduce either run", c.file.OptionsFingerprint, got)
+	}
+	return nil
+}
+
+// Problem returns the problem name recorded in the checkpoint.
+func (c *Checkpoint) Problem() string { return c.file.ProblemName }
+
+// Vars returns the problem width the checkpoint was taken against.
+func (c *Checkpoint) Vars() int { return c.file.NumVars }
+
+// Version returns the checkpoint format version of the file.
+func (c *Checkpoint) Version() int { return c.file.Version }
+
+// Starts returns how many multi-start slots the checkpoint carries and
+// how many of them had finished.
+func (c *Checkpoint) Starts() (total, done int) {
+	for _, s := range c.file.Starts {
+		if s.Done {
+			done++
+		}
+	}
+	return len(c.file.Starts), done
+}
+
+// checkpointAssembler accumulates per-start state and serializes
+// complete checkpoint files on demand. Slot updates happen under mu
+// and are cheap; marshal + write run outside the lock under a
+// single-flight flusher, so parallel starts posting snapshots never
+// queue behind disk I/O. Concurrent snapshot requests coalesce into
+// one write of the latest state (group commit) — every flushed file is
+// still a complete, consistent boundary state, because each slot holds
+// an immutable deep-copied optimizer snapshot.
+type checkpointAssembler struct {
+	mu       sync.Mutex
+	idle     sync.Cond // signaled when the flusher goes idle
+	file     checkpointFile
+	write    func([]byte) error
+	every    int
+	dirty    bool // state newer than the last write exists
+	flushing bool // a flush pass is in progress
+	disabled bool // set after the first write error
+	err      error
+}
+
+func newCheckpointAssembler(p *problems.Problem, opts Options, schedule []byte, numStarts int, co *CheckpointOptions) *checkpointAssembler {
+	every := co.Every
+	if every <= 0 {
+		every = 1
+	}
+	a := &checkpointAssembler{
+		file: checkpointFile{
+			Version:            CheckpointVersion,
+			ProblemName:        p.Name,
+			NumVars:            p.N,
+			Fingerprint:        constraintFingerprint(p),
+			OptionsFingerprint: OptionsFingerprint(opts),
+			Schedule:           schedule,
+			Starts:             make([]startCheckpoint, numStarts),
+		},
+		write: co.Write,
+		every: every,
+	}
+	a.idle.L = &a.mu
+	return a
+}
+
+// update records a mid-run optimizer snapshot for start i and requests
+// a flush unless throttled by Every.
+func (a *checkpointAssembler) update(i int, st *optimize.State, rngState []byte, evals int, quantumNS float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.file.Starts[i] = startCheckpoint{
+		Optimizer: st,
+		RNGState:  rngState,
+		Evals:     evals,
+		QuantumNS: quantumNS,
+	}
+	if st.Iter%a.every == 0 {
+		a.dirty = true
+		a.flushLocked()
+	}
+}
+
+// finish records start i's final result and requests a flush.
+func (a *checkpointAssembler) finish(i int, res optimize.Result, evals int, quantumNS float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.file.Starts[i] = startCheckpoint{
+		Done:      true,
+		X:         append([]float64(nil), res.X...),
+		F:         res.F,
+		OptEvals:  res.Evals,
+		Iters:     res.Iters,
+		Evals:     evals,
+		QuantumNS: quantumNS,
+	}
+	a.dirty = true
+	a.flushLocked()
+}
+
+// flushLocked drains dirty state to the sink. If another goroutine is
+// already flushing it returns immediately — that flusher re-snapshots
+// after every write, so the freshly posted state is picked up by its
+// next loop pass. Otherwise this goroutine becomes the flusher and
+// writes until no newer state remains.
+func (a *checkpointAssembler) flushLocked() {
+	if a.flushing || a.disabled {
+		return
+	}
+	a.flushing = true
+	for a.dirty && !a.disabled {
+		a.dirty = false
+		snap := a.file
+		snap.Starts = append([]startCheckpoint(nil), a.file.Starts...)
+		a.mu.Unlock()
+		data, err := json.Marshal(snap)
+		if err == nil {
+			err = a.write(data)
+		}
+		a.mu.Lock()
+		if err != nil {
+			a.disabled, a.err = true, err
+		}
+	}
+	a.flushing = false
+	a.idle.Broadcast()
+}
+
+// sync blocks until no flush is in flight. The solver calls it before
+// returning so the Write callback never fires after Solve has
+// returned, and the last written file reflects the final state.
+func (a *checkpointAssembler) sync() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for a.flushing {
+		a.idle.Wait()
+	}
+}
+
+// Err returns the first write/marshal error, if any (checkpointing is
+// best-effort: a failing sink stops exports but never fails the solve).
+func (a *checkpointAssembler) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand"
@@ -46,6 +47,24 @@ type Options struct {
 	// pipeline and never steers it, so two solves that differ only in
 	// Telemetry are interchangeable (and cache-key identical).
 	Telemetry TelemetryOptions
+
+	// Checkpoint, when non-nil, exports a resumable checkpoint at
+	// optimizer iteration boundaries (see CheckpointOptions). Like
+	// Telemetry it is excluded from CanonicalOptionsJSON: checkpointing
+	// observes the solve without steering it, and with Checkpoint nil
+	// the iteration hot path is bit-for-bit the uncheckpointed one.
+	Checkpoint *CheckpointOptions
+	// Resume, when non-nil, continues a solve from a checkpoint instead
+	// of starting fresh: the pruned schedule is restored from the file
+	// (skipping basis construction and the dry run; Result.Basis is nil
+	// on resume), finished starts are replayed from their recorded
+	// results, and interrupted starts continue from their optimizer
+	// snapshot with the executor RNG stream fast-forwarded to the
+	// recorded position. Validate runs first and a checkpoint for a
+	// different problem or options fingerprint is refused. The resumed
+	// Result's wire payload is byte-identical to the uninterrupted
+	// run's. Also excluded from CanonicalOptionsJSON.
+	Resume *Checkpoint
 }
 
 // TelemetryOptions switches on the solve's observability surfaces. The
@@ -180,19 +199,36 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 	defer rec.End(root) // idempotent: also fires on error returns
 
 	compileStart := time.Now()
-	sp := rec.Start(obs.StageBasis, mainTrack, root)
-	basis, err := BuildBasis(p, opts.Basis)
-	rec.End(sp)
-	if err != nil {
-		return nil, err
+	var basis *Basis
+	var sched *Schedule
+	var err error
+	rc := opts.Resume
+	if rc != nil {
+		// Resume path: the checkpoint must belong to exactly this
+		// (problem, options) pair, and its stored schedule replaces basis
+		// construction and the pruning dry run entirely.
+		if err := rc.Validate(p, opts); err != nil {
+			return nil, err
+		}
+		sched, err = UnmarshalSchedule(p, rc.file.Schedule)
+		if err != nil {
+			return nil, fmt.Errorf("core: resume: %w", err)
+		}
+	} else {
+		sp := rec.Start(obs.StageBasis, mainTrack, root)
+		basis, err = BuildBasis(p, opts.Basis)
+		rec.End(sp)
+		if err != nil {
+			return nil, err
+		}
+		sp = rec.Start(obs.StageHamiltonian, mainTrack, root)
+		sched = BuildSchedule(p, basis, opts.Schedule)
+		rec.End(sp)
+		if len(sched.Ops) == 0 {
+			return nil, fmt.Errorf("core: %s: schedule pruned to nothing", p.Name)
+		}
 	}
-	sp = rec.Start(obs.StageHamiltonian, mainTrack, root)
-	sched := BuildSchedule(p, basis, opts.Schedule)
-	rec.End(sp)
-	if len(sched.Ops) == 0 {
-		return nil, fmt.Errorf("core: %s: schedule pruned to nothing", p.Name)
-	}
-	sp = rec.Start(obs.StageCircuit, mainTrack, root)
+	sp := rec.Start(obs.StageCircuit, mainTrack, root)
 	exec, err := NewExecutor(p, sched.Ops, opts.Exec)
 	rec.End(sp)
 	if err != nil {
@@ -229,6 +265,26 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 		starts = starts[:1]
 	}
 
+	// Persistence setup. With Checkpoint nil and Resume nil this block
+	// costs two nil checks and the solve below runs the exact
+	// uncheckpointed path (plain RNG, no snapshot hook — zero added
+	// allocations per iteration).
+	persist := opts.Checkpoint != nil && opts.Checkpoint.Write != nil
+	counted := persist || rc != nil
+	if rc != nil && len(rc.file.Starts) != len(starts) {
+		return nil, fmt.Errorf("core: checkpoint holds %d starts, this solve uses %d (corrupt or hand-edited file)", len(rc.file.Starts), len(starts))
+	}
+	var ck *checkpointAssembler
+	if persist {
+		schedBytes := json.RawMessage(nil)
+		if rc != nil {
+			schedBytes = rc.file.Schedule
+		} else if schedBytes, err = MarshalSchedule(p, sched); err != nil {
+			return nil, fmt.Errorf("core: checkpoint: %w", err)
+		}
+		ck = newCheckpointAssembler(p, opts, schedBytes, len(starts), opts.Checkpoint)
+	}
+
 	// Starts run concurrently on the shared worker pool. Each owns a
 	// cloned executor (compiled schedule shared, accounting private) and a
 	// SplitMix64-derived RNG stream, so the outcome is bit-identical for
@@ -242,6 +298,9 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 		// the most recent successful evaluation's distribution, used as a
 		// fallback when the final evaluation fails.
 		ex *Executor
+		// err reports a resume-state restore failure (worker closures
+		// cannot return errors; the solver checks after the fan-out).
+		err error
 	}
 	outcomes := make([]startOutcome, len(starts))
 	// Tracks are allocated up front, before the pool fans out, so track ids
@@ -261,7 +320,18 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 	parallel.For(len(starts), func(i int) {
 		ex := exec.Clone()
 		ex.SetTelemetry(rec, startTracks[i], root)
-		srng := parallel.NewRand(opts.Seed+7, uint64(i))
+		// The stream source emits the bit-identical stream of
+		// parallel.NewRand while exposing its state for capture, so
+		// checkpoints can record it and resumes can restore it. The plain
+		// source stays on the default path to keep it untouched.
+		var srng *rand.Rand
+		var src *parallel.StreamSource
+		if counted {
+			src = parallel.NewStreamSource(opts.Seed+7, uint64(i))
+			srng = src.Rand()
+		} else {
+			srng = parallel.NewRand(opts.Seed+7, uint64(i))
+		}
 		o := &outcomes[i]
 		o.ex = ex
 		objective := func(t []float64) float64 {
@@ -289,6 +359,48 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 			Step:     math.Pi / 8,
 			Seed:     opts.Seed + int64(i),
 			Ctx:      ctx,
+		}
+		if rc != nil {
+			st := rc.file.Starts[i]
+			if st.Done {
+				// This start had finished before the interruption: replay its
+				// recorded result verbatim — rerunning it would waste the
+				// whole point of resuming.
+				o.res = optimize.Result{X: append([]float64(nil), st.X...), F: st.F, Evals: st.OptEvals, Iters: st.Iters}
+				o.evals = st.Evals
+				o.quantumNS = st.QuantumNS
+				if persist {
+					ck.finish(i, o.res, o.evals, o.quantumNS)
+				}
+				return
+			}
+			if st.Optimizer != nil {
+				// Mid-run snapshot: restore accounting, restore the executor
+				// RNG stream to the recorded state, and hand the optimizer
+				// its internal state. A zero-value slot (the start never
+				// reached a boundary before the crash) falls through and
+				// runs fresh, which is exactly what it had done.
+				o.evals = st.Evals
+				o.quantumNS = st.QuantumNS
+				if o.err = src.RestoreState(st.RNGState); o.err != nil {
+					o.res = optimize.Result{F: math.Inf(1)}
+					return
+				}
+				oopts.Resume = st.Optimizer
+			}
+		}
+		if persist {
+			oopts.OnSnapshot = func(st *optimize.State) {
+				if ctx.Err() != nil {
+					// Once the context fires, the objective fast-exits with
+					// +Inf (see below), so boundary state from a cancelled
+					// iteration is polluted and must not be exported: the
+					// last pre-cancellation write is the resume point, and
+					// resuming re-runs the cancelled iteration in full.
+					return
+				}
+				ck.update(i, st, src.State(), o.evals, o.quantumNS)
+			}
 		}
 		if telemetryOn {
 			// The hook observes iteration boundaries: a span from the previous
@@ -321,9 +433,26 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 			}
 		}
 		o.res = optimize.Minimize(opts.Optimizer, objective, starts[i], oopts)
+		if persist && ctx.Err() == nil {
+			// Completion record: a later resume replays this start's result
+			// instead of re-optimizing. Skipped on cancellation — the
+			// optimizer stopped at an arbitrary boundary, and the last
+			// mid-run snapshot is the state a resume must continue from.
+			ck.finish(i, o.res, o.evals, o.quantumNS)
+		}
 	})
+	if persist {
+		// Before any return (including cancellation): the in-flight
+		// flush must land so Write never fires after Solve returns.
+		ck.sync()
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	for i := range outcomes {
+		if outcomes[i].err != nil {
+			return nil, fmt.Errorf("core: resume start %d: %w", i, outcomes[i].err)
+		}
 	}
 
 	// Winner by objective value, ties to the lowest start index.

@@ -54,7 +54,7 @@ func Ablation(cfg Config) (*AblationResult, error) {
 				}
 				opts := core.Options{MaxIter: cfg.MaxIter, Seed: cfg.Seed + int64(c), Telemetry: cfg.telemetry()}
 				mutate(&opts)
-				res, err := core.Solve(cfg.ctx(), p, opts)
+				res, err := core.Solve(cfg.ctx(), p, cfg.persistence(p, opts))
 				if err != nil {
 					fails++
 					continue

@@ -12,6 +12,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"strings"
 
 	"rasengan/internal/baselines"
@@ -21,6 +22,7 @@ import (
 	"rasengan/internal/obs"
 	"rasengan/internal/parallel"
 	"rasengan/internal/problems"
+	"rasengan/internal/store"
 )
 
 // Config shapes an experiment run.
@@ -64,12 +66,54 @@ type Config struct {
 	// own tracks, so concurrent cases stay untangled). Wired by
 	// rasengan-bench -trace.
 	Spans *obs.Recorder
+	// CheckpointDir, when non-empty, makes every Rasengan solve in the
+	// experiments write a resumable checkpoint under this directory
+	// (one file per problem × seed) and resume from a matching valid
+	// checkpoint when one exists, so an interrupted sweep continues
+	// instead of restarting — results stay bit-identical either way.
+	// Wired by rasengan-bench -checkpoint.
+	CheckpointDir string
 }
 
 // telemetry returns the solver telemetry options the experiments attach
 // to every Rasengan solve.
 func (c Config) telemetry() core.TelemetryOptions {
 	return core.TelemetryOptions{Spans: c.Spans}
+}
+
+// persistence wires CheckpointDir into one solve's options: resume from
+// an existing valid checkpoint for this (problem, options) pair, and
+// keep checkpointing into the same file. A checkpoint that fails to
+// parse or validate (different options, stale format) is ignored — the
+// solve simply starts fresh and overwrites it.
+func (c Config) persistence(p *problems.Problem, opts core.Options) core.Options {
+	if c.CheckpointDir == "" {
+		return opts
+	}
+	path := filepath.Join(c.CheckpointDir, fmt.Sprintf("%s-seed%d.ckpt", sanitizeName(p.Name), opts.Seed))
+	if data, err := store.LoadCheckpoint(path); err == nil {
+		if ck, err := core.ParseCheckpoint(data); err == nil && ck.Validate(p, opts) == nil {
+			opts.Resume = ck
+		}
+	}
+	opts.Checkpoint = &core.CheckpointOptions{
+		// Sweeps favor low overhead over fine granularity.
+		Every: 5,
+		Write: func(data []byte) error { return store.WriteFileAtomicNoSync(path, data, 0o644) },
+	}
+	return opts
+}
+
+// sanitizeName maps a problem name onto a safe filename stem.
+func sanitizeName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
 }
 
 // ctx returns the configured context, defaulting to Background.
@@ -139,7 +183,7 @@ func runAlgorithm(algo string, p *problems.Problem, ref problems.Reference, cfg 
 	out := AlgoOutcome{Algorithm: algo}
 	switch algo {
 	case "rasengan":
-		res, err := core.Solve(cfg.ctx(), p, core.Options{
+		res, err := core.Solve(cfg.ctx(), p, cfg.persistence(p, core.Options{
 			MaxIter: cfg.MaxIter,
 			Seed:    seed,
 			Exec: core.ExecOptions{
@@ -149,7 +193,7 @@ func runAlgorithm(algo string, p *problems.Problem, ref problems.Reference, cfg 
 				Engine:       cfg.Engine,
 			},
 			Telemetry: cfg.telemetry(),
-		})
+		}))
 		if err != nil {
 			out.Err = err
 			return out

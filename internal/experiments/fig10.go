@@ -91,13 +91,13 @@ func Fig10(cfg Config, maxPoints int) (*Fig10Result, error) {
 		}
 
 		// Noise-free ARG with shot sampling.
-		res, err := core.Solve(cfg.ctx(), p, core.Options{
+		res, err := core.Solve(cfg.ctx(), p, cfg.persistence(p, core.Options{
 			MaxIter:   cfg.MaxIter,
 			Seed:      cfg.Seed,
 			Schedule:  core.ScheduleOptions{MaxTrackedStates: 20000},
 			Exec:      core.ExecOptions{Shots: shots, Engine: cfg.Engine},
 			Telemetry: cfg.telemetry(),
-		})
+		}))
 		if err != nil {
 			pt.NoiseFreeFail = true
 		} else {
@@ -105,13 +105,13 @@ func Fig10(cfg Config, maxPoints int) (*Fig10Result, error) {
 		}
 
 		// Noisy ARG on the Quebec model.
-		nres, err := core.Solve(cfg.ctx(), p, core.Options{
+		nres, err := core.Solve(cfg.ctx(), p, cfg.persistence(p, core.Options{
 			MaxIter:   cfg.MaxIter / 2,
 			Seed:      cfg.Seed + 1,
 			Schedule:  core.ScheduleOptions{MaxTrackedStates: 20000},
 			Exec:      core.ExecOptions{Shots: shots, Device: quebec, Trajectories: cfg.Trajectories, Engine: cfg.Engine},
 			Telemetry: cfg.telemetry(),
-		})
+		}))
 		if err != nil {
 			pt.NoisyFailed = true
 		} else {

@@ -45,7 +45,7 @@ func Fig13(cfg Config) (*Fig13Result, error) {
 			continue
 		}
 		seen[segments] = true
-		res, err := core.Solve(cfg.ctx(), p, core.Options{
+		res, err := core.Solve(cfg.ctx(), p, cfg.persistence(p, core.Options{
 			MaxIter: cfg.MaxIter,
 			Seed:    cfg.Seed,
 			Exec: core.ExecOptions{
@@ -56,7 +56,7 @@ func Fig13(cfg Config) (*Fig13Result, error) {
 				Engine:        cfg.Engine,
 			},
 			Telemetry: cfg.telemetry(),
-		})
+		}))
 		pt := Fig13Point{Segments: segments}
 		if err != nil {
 			pt.Err = err

@@ -120,12 +120,12 @@ func fig14Sweep(cfg Config, cases []*problems.Problem, dev *device.Device, seedO
 			outs[i].err = err
 			return
 		}
-		res, err := core.Solve(cfg.ctx(), p, core.Options{
+		res, err := core.Solve(cfg.ctx(), p, cfg.persistence(p, core.Options{
 			MaxIter:   cfg.MaxIter,
 			Seed:      cfg.Seed + seedOffset + int64(i),
 			Exec:      core.ExecOptions{Shots: cfg.Shots, Device: dev, Trajectories: cfg.Trajectories, Engine: cfg.Engine},
 			Telemetry: cfg.telemetry(),
-		})
+		}))
 		if err != nil {
 			outs[i].failed = true
 			return

@@ -78,7 +78,7 @@ func Fig16(cfg Config) (*Fig16Result, error) {
 						// keep the comparison honest.
 						shots = cfg.Shots
 					}
-					res, err := core.Solve(cfg.ctx(), p, core.Options{
+					res, err := core.Solve(cfg.ctx(), p, cfg.persistence(p, core.Options{
 						MaxIter: cfg.MaxIter,
 						Seed:    cfg.Seed + int64(c),
 						Basis:   core.BasisOptions{DisableSimplify: !variant.Simplify},
@@ -94,7 +94,7 @@ func Fig16(cfg Config) (*Fig16Result, error) {
 							Engine:              cfg.Engine,
 						},
 						Telemetry: cfg.telemetry(),
-					})
+					}))
 					if err != nil {
 						cell.Failures++
 						continue

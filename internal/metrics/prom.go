@@ -180,6 +180,17 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	f.child(nil).fn.Store(&fn)
 }
 
+// GaugeFuncWith registers a labeled gauge child whose value is read from
+// fn at exposition time — one family can mix several live-read children,
+// e.g. rasengan_store_entries{store="warmstart"} alongside
+// {store="blobs"}.
+func (r *Registry) GaugeFuncWith(name, help string, fn func() float64, labels ...[2]string) {
+	f := r.family(name, help, "gauge")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f.child(labels).fn.Store(&fn)
+}
+
 // Set replaces the gauge value.
 func (g Gauge) Set(v float64) { g.c.bits.Store(math.Float64bits(v)) }
 

@@ -206,3 +206,36 @@ func TestGaugeFuncRacesScrape(t *testing.T) {
 		t.Errorf("GaugeFunc value missing after concurrent registration:\n%s", sb.String())
 	}
 }
+
+func TestGaugeFuncWith(t *testing.T) {
+	r := NewRegistry()
+	warm, blobs := 3.0, 7.0
+	r.GaugeFuncWith("store_entries", "Entries per store.",
+		func() float64 { return warm }, [2]string{"store", "warmstart"})
+	r.GaugeFuncWith("store_entries", "Entries per store.",
+		func() float64 { return blobs }, [2]string{"store", "blobs"})
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		`store_entries{store="warmstart"} 3`,
+		`store_entries{store="blobs"} 7`,
+	} {
+		if !strings.Contains(got, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+	// Live read: the next scrape sees updated values without
+	// re-registration.
+	warm = 4
+	sb.Reset()
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `store_entries{store="warmstart"} 4`) {
+		t.Errorf("labeled gauge func not read live:\n%s", sb.String())
+	}
+}

@@ -40,6 +40,25 @@ type Options struct {
 	// it — and must not mutate bestX (the slice is borrowed; copy before
 	// retaining).
 	OnIteration func(iter int, bestF float64, bestX []float64)
+
+	// OnSnapshot, when non-nil, is invoked right after OnIteration at
+	// every boundary the loop will continue past, with a self-contained
+	// deep-copied State. Feeding that State back through Resume continues
+	// the run bit-identically: the same remaining evaluation sequence,
+	// the same Result. Boundaries at which the optimizer is about to stop
+	// are deliberately not snapshotted — resuming past a stopping
+	// decision would run iterations the uninterrupted run never ran.
+	// When nil (the default) the checkpoint path costs one nil check per
+	// iteration and allocates nothing.
+	OnSnapshot func(s *State)
+
+	// Resume, when non-nil and produced by the same method at the same
+	// dimension, restores the optimizer mid-run instead of starting from
+	// x0 (x0 is then ignored, as are the initial-evaluation costs already
+	// accounted inside the snapshot). A snapshot from another method or
+	// dimension is ignored; callers that need loud failure validate
+	// before invoking (see core.Checkpoint.Validate).
+	Resume *State
 }
 
 // iterDone fires the OnIteration observer for one completed iteration.
@@ -111,16 +130,26 @@ func NelderMead(f Objective, x0 []float64, opts Options) Result {
 		return Result{X: nil, F: v, Evals: bf.evals}
 	}
 
-	// Initial simplex: x0 plus a step along each axis.
-	pts := make([][]float64, n+1)
-	vals := make([]float64, n+1)
-	pts[0] = append([]float64(nil), x0...)
-	vals[0], _ = bf.call(pts[0])
-	for i := 0; i < n; i++ {
-		p := append([]float64(nil), x0...)
-		p[i] += opts.Step
-		pts[i+1] = p
-		vals[i+1], _ = bf.call(p)
+	var pts [][]float64
+	var vals []float64
+	startIter := 0
+	if st := opts.Resume; st.resumable(MethodNelderMead, n) {
+		pts = clonePoints(st.Points)
+		vals = append([]float64(nil), st.Values...)
+		bf.restore(st)
+		startIter = st.Iter
+	} else {
+		// Initial simplex: x0 plus a step along each axis.
+		pts = make([][]float64, n+1)
+		vals = make([]float64, n+1)
+		pts[0] = append([]float64(nil), x0...)
+		vals[0], _ = bf.call(pts[0])
+		for i := 0; i < n; i++ {
+			p := append([]float64(nil), x0...)
+			p[i] += opts.Step
+			pts[i+1] = p
+			vals[i+1], _ = bf.call(p)
+		}
 	}
 
 	const (
@@ -129,7 +158,7 @@ func NelderMead(f Objective, x0 []float64, opts Options) Result {
 		rho   = 0.5 // contraction
 		sigma = 0.5 // shrink
 	)
-	iters := 0
+	iters := startIter
 	for ; iters < opts.MaxIter && bf.evals < opts.MaxEvals; iters++ {
 		if opts.cancelled() {
 			break
@@ -178,6 +207,12 @@ func NelderMead(f Objective, x0 []float64, opts Options) Result {
 			}
 		}
 		opts.iterDone(iters, bf)
+		if opts.OnSnapshot != nil {
+			st := &State{Method: string(MethodNelderMead), Dim: n, Iter: iters + 1,
+				Points: clonePoints(pts), Values: append([]float64(nil), vals...)}
+			st.fillBudget(bf)
+			opts.OnSnapshot(st)
+		}
 	}
 	order(pts, vals)
 	return Result{X: bf.bestX, F: bf.bestF, Evals: bf.evals, Iters: iters}
@@ -213,19 +248,30 @@ func COBYLA(f Objective, x0 []float64, opts Options) Result {
 		v, _ := bf.call(nil)
 		return Result{X: nil, F: v, Evals: bf.evals}
 	}
-	pts := make([][]float64, n+1)
-	vals := make([]float64, n+1)
-	pts[0] = append([]float64(nil), x0...)
-	vals[0], _ = bf.call(pts[0])
-	for i := 0; i < n; i++ {
-		p := append([]float64(nil), x0...)
-		p[i] += opts.Step
-		pts[i+1] = p
-		vals[i+1], _ = bf.call(p)
-	}
+	var pts [][]float64
+	var vals []float64
 	radius := opts.Step
+	startIter := 0
+	if st := opts.Resume; st.resumable(MethodCOBYLA, n) {
+		pts = clonePoints(st.Points)
+		vals = append([]float64(nil), st.Values...)
+		radius = st.Radius
+		bf.restore(st)
+		startIter = st.Iter
+	} else {
+		pts = make([][]float64, n+1)
+		vals = make([]float64, n+1)
+		pts[0] = append([]float64(nil), x0...)
+		vals[0], _ = bf.call(pts[0])
+		for i := 0; i < n; i++ {
+			p := append([]float64(nil), x0...)
+			p[i] += opts.Step
+			pts[i+1] = p
+			vals[i+1], _ = bf.call(p)
+		}
+	}
 	const minRadius = 1e-7
-	iters := 0
+	iters := startIter
 	for ; iters < opts.MaxIter && bf.evals < opts.MaxEvals && radius > minRadius; iters++ {
 		if opts.cancelled() {
 			break
@@ -256,6 +302,7 @@ func COBYLA(f Objective, x0 []float64, opts Options) Result {
 			radius *= 0.5
 			resetSimplex(bf, pts, vals, radius)
 			opts.iterDone(iters, bf)
+			opts.snapshotCOBYLA(iters+1, bf, pts, vals, radius)
 			continue
 		}
 		// Candidate: steepest descent step of length radius from best.
@@ -275,8 +322,22 @@ func COBYLA(f Objective, x0 []float64, opts Options) Result {
 			resetSimplex(bf, pts, vals, radius)
 		}
 		opts.iterDone(iters, bf)
+		opts.snapshotCOBYLA(iters+1, bf, pts, vals, radius)
 	}
 	return Result{X: bf.bestX, F: bf.bestF, Evals: bf.evals, Iters: iters}
+}
+
+// snapshotCOBYLA exports a COBYLA boundary snapshot (no-op when
+// checkpointing is off; plain-value arguments keep the disabled path
+// allocation-free).
+func (o Options) snapshotCOBYLA(iter int, bf *budgetFn, pts [][]float64, vals []float64, radius float64) {
+	if o.OnSnapshot == nil {
+		return
+	}
+	st := &State{Method: string(MethodCOBYLA), Dim: len(pts) - 1, Iter: iter,
+		Points: clonePoints(pts), Values: append([]float64(nil), vals...), Radius: radius}
+	st.fillBudget(bf)
+	o.OnSnapshot(st)
 }
 
 // resetSimplex rebuilds the simplex around the current best point with a
@@ -303,8 +364,24 @@ func SPSA(f Objective, x0 []float64, opts Options) Result {
 	}
 	bf := newBudgetFn(f, opts.MaxEvals)
 	rng := rand.New(rand.NewSource(opts.Seed + 1))
-	x := append([]float64(nil), x0...)
-	bf.call(x)
+	var x []float64
+	startIter := 0
+	draws := uint64(0)
+	if st := opts.Resume; st.resumable(MethodSPSA, n) {
+		x = append([]float64(nil), st.X...)
+		bf.restore(st)
+		startIter = st.Iter
+		// Restore the perturbation stream's position by replaying the
+		// recorded number of draws: every draw in SPSA is an Intn(2), so
+		// the call count alone pins the stream state.
+		for i := uint64(0); i < st.RNGDraws; i++ {
+			rng.Intn(2)
+		}
+		draws = st.RNGDraws
+	} else {
+		x = append([]float64(nil), x0...)
+		bf.call(x)
+	}
 	const (
 		aScale = 0.2
 		cScale = 0.15
@@ -312,7 +389,7 @@ func SPSA(f Objective, x0 []float64, opts Options) Result {
 		alpha  = 0.602
 		gamma  = 0.101
 	)
-	iters := 0
+	iters := startIter
 	for ; iters < opts.MaxIter && bf.evals+2 <= opts.MaxEvals; iters++ {
 		if opts.cancelled() {
 			break
@@ -328,6 +405,7 @@ func SPSA(f Objective, x0 []float64, opts Options) Result {
 				delta[i] = -1
 			}
 		}
+		draws += uint64(n)
 		xp := make([]float64, n)
 		xm := make([]float64, n)
 		for i := range x {
@@ -341,6 +419,12 @@ func SPSA(f Objective, x0 []float64, opts Options) Result {
 			x[i] -= ak * ghat
 		}
 		opts.iterDone(iters, bf)
+		if opts.OnSnapshot != nil {
+			st := &State{Method: string(MethodSPSA), Dim: n, Iter: iters + 1,
+				X: append([]float64(nil), x...), RNGDraws: draws}
+			st.fillBudget(bf)
+			opts.OnSnapshot(st)
+		}
 	}
 	bf.call(x)
 	return Result{X: bf.bestX, F: bf.bestF, Evals: bf.evals, Iters: iters}

@@ -17,16 +17,28 @@ func Powell(f Objective, x0 []float64, opts Options) Result {
 		return Result{X: nil, F: v, Evals: bf.evals}
 	}
 
-	// Direction set starts as the coordinate axes.
-	dirs := make([][]float64, n)
-	for i := range dirs {
-		dirs[i] = make([]float64, n)
-		dirs[i][i] = 1
+	var dirs [][]float64
+	var x []float64
+	var fx float64
+	startIter := 0
+	if st := opts.Resume; st.resumable(MethodPowell, n) {
+		dirs = clonePoints(st.Points)
+		x = append([]float64(nil), st.X...)
+		fx = st.FX
+		bf.restore(st)
+		startIter = st.Iter
+	} else {
+		// Direction set starts as the coordinate axes.
+		dirs = make([][]float64, n)
+		for i := range dirs {
+			dirs[i] = make([]float64, n)
+			dirs[i][i] = 1
+		}
+		x = append([]float64(nil), x0...)
+		fx, _ = bf.call(x)
 	}
-	x := append([]float64(nil), x0...)
-	fx, _ := bf.call(x)
 
-	iters := 0
+	iters := startIter
 	for ; iters < opts.MaxIter && bf.evals < opts.MaxEvals; iters++ {
 		if opts.cancelled() {
 			break
@@ -57,11 +69,15 @@ func Powell(f Objective, x0 []float64, opts Options) Result {
 			norm += disp[i] * disp[i]
 		}
 		if f0iter-fx < opts.TolF {
+			// Stopping boundary: iterDone observes it, but no snapshot is
+			// exported — resuming past a stop decision would run
+			// iterations the uninterrupted run never ran.
 			opts.iterDone(iters, bf)
 			break
 		}
 		if norm < 1e-20 {
 			opts.iterDone(iters, bf)
+			opts.snapshotPowell(iters+1, bf, dirs, x, fx)
 			continue
 		}
 		// Powell's acceptance test for replacing a direction: probe the
@@ -83,8 +99,21 @@ func Powell(f Objective, x0 []float64, opts Options) Result {
 			}
 		}
 		opts.iterDone(iters, bf)
+		opts.snapshotPowell(iters+1, bf, dirs, x, fx)
 	}
 	return Result{X: bf.bestX, F: bf.bestF, Evals: bf.evals, Iters: iters}
+}
+
+// snapshotPowell exports a Powell boundary snapshot (no-op when
+// checkpointing is off).
+func (o Options) snapshotPowell(iter int, bf *budgetFn, dirs [][]float64, x []float64, fx float64) {
+	if o.OnSnapshot == nil {
+		return
+	}
+	st := &State{Method: string(MethodPowell), Dim: len(x), Iter: iter,
+		Points: clonePoints(dirs), X: append([]float64(nil), x...), FX: fx}
+	st.fillBudget(bf)
+	o.OnSnapshot(st)
 }
 
 func sq(v float64) float64 { return v * v }

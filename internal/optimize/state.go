@@ -1,0 +1,98 @@
+package optimize
+
+// Mid-run checkpointing: every optimizer can export its full internal
+// state at an iteration boundary (Options.OnSnapshot) and be restarted
+// from such a snapshot (Options.Resume) so that the continued run emits
+// exactly the evaluation sequence — and therefore exactly the Result —
+// the uninterrupted run would have produced. Snapshots are taken after
+// OnIteration fires, so the two hooks observe the same boundary.
+//
+// The contract is bit-level: floats round-trip exactly through
+// encoding/json (Go emits the shortest representation that parses back
+// to the same float64), the objective is assumed deterministic, and the
+// caller is responsible for restoring any external stochastic state the
+// objective consumes (core.Solve checkpoints its executor RNG stream
+// positions alongside these snapshots).
+
+// State is a serializable snapshot of one optimizer's complete internal
+// state at an iteration boundary. Which fields are populated depends on
+// Method; BestX/BestF/Evals/Iter are always present.
+type State struct {
+	// Method names the optimizer that produced the snapshot; Resume is
+	// ignored when it does not match the running method.
+	Method string `json:"method"`
+	// Dim is the parameter-vector dimension the snapshot belongs to.
+	Dim int `json:"dim"`
+	// Iter is the index of the next iteration to run (iterations
+	// completed so far).
+	Iter int `json:"iter"`
+	// Evals is the number of objective evaluations consumed.
+	Evals int `json:"evals"`
+	// BestX/BestF mirror the budget wrapper's best-seen point.
+	BestX []float64 `json:"best_x,omitempty"`
+	BestF float64   `json:"best_f"`
+
+	// Points/Values carry the simplex (Nelder-Mead, COBYLA) or the
+	// direction set (Powell, Values unused).
+	Points [][]float64 `json:"points,omitempty"`
+	Values []float64   `json:"values,omitempty"`
+	// X/FX carry the current iterate (Powell, SPSA; FX unused by SPSA).
+	X  []float64 `json:"x,omitempty"`
+	FX float64   `json:"fx,omitempty"`
+	// Radius is COBYLA's trust radius.
+	Radius float64 `json:"radius,omitempty"`
+	// RNGDraws counts SPSA's internal perturbation draws (Intn calls),
+	// replayed on resume to restore the stream position.
+	RNGDraws uint64 `json:"rng_draws,omitempty"`
+}
+
+// Clone returns a deep copy, so a retained snapshot cannot alias the
+// optimizer's live buffers.
+func (s *State) Clone() *State {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.BestX = append([]float64(nil), s.BestX...)
+	c.X = append([]float64(nil), s.X...)
+	c.Values = append([]float64(nil), s.Values...)
+	if s.Points != nil {
+		c.Points = make([][]float64, len(s.Points))
+		for i, p := range s.Points {
+			c.Points[i] = append([]float64(nil), p...)
+		}
+	}
+	return &c
+}
+
+// resumable reports whether s can restore a run of the given method and
+// dimension. A nil or mismatched snapshot is ignored rather than
+// trusted: the higher layers (core checkpoint validation) reject
+// mismatches loudly before the optimizer ever sees them.
+func (s *State) resumable(method Method, n int) bool {
+	return s != nil && s.Method == string(method) && s.Dim == n
+}
+
+// restore loads the budget wrapper's counters from the snapshot.
+func (b *budgetFn) restore(s *State) {
+	b.evals = s.Evals
+	b.bestF = s.BestF
+	b.bestX = append([]float64(nil), s.BestX...)
+}
+
+// fillBudget copies the budget wrapper's counters into a snapshot under
+// construction.
+func (s *State) fillBudget(bf *budgetFn) {
+	s.Evals = bf.evals
+	s.BestF = bf.bestF
+	s.BestX = append([]float64(nil), bf.bestX...)
+}
+
+// clonePoints deep-copies a point set for snapshot export.
+func clonePoints(pts [][]float64) [][]float64 {
+	out := make([][]float64, len(pts))
+	for i, p := range pts {
+		out[i] = append([]float64(nil), p...)
+	}
+	return out
+}

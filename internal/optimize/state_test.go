@@ -1,0 +1,167 @@
+package optimize
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// bumpyObjective is a deterministic non-convex test function with enough
+// structure that every optimizer runs many iterations without converging
+// trivially.
+func bumpyObjective(calls *int) Objective {
+	return func(x []float64) float64 {
+		*calls++
+		// Rosenbrock valley plus a mild ripple: the curved narrow valley
+		// forces many direction-set / simplex iterations before any
+		// tolerance fires, and the ripple keeps SPSA's gradient estimates
+		// from degenerating.
+		s := 0.0
+		for i := 0; i+1 < len(x); i++ {
+			s += 100*(x[i+1]-x[i]*x[i])*(x[i+1]-x[i]*x[i]) + (1-x[i])*(1-x[i])
+		}
+		return s + 0.01*math.Sin(7*x[0])
+	}
+}
+
+func resultsEqual(a, b Result) bool {
+	if a.F != b.F || a.Evals != b.Evals || a.Iters != b.Iters || len(a.X) != len(b.X) {
+		return false
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestResumeBitIdentical is the optimizer half of the checkpoint
+// contract: restoring any boundary snapshot and continuing must
+// reproduce the uninterrupted run's Result exactly — same best point to
+// the last bit, same evaluation count, same iteration count.
+func TestResumeBitIdentical(t *testing.T) {
+	x0 := []float64{0.8, -0.4, 1.7}
+	for _, m := range []Method{MethodCOBYLA, MethodNelderMead, MethodSPSA, MethodPowell} {
+		t.Run(string(m), func(t *testing.T) {
+			base := Options{MaxIter: 40, Seed: 5}
+			var snaps []*State
+			optsA := base
+			optsA.OnSnapshot = func(s *State) { snaps = append(snaps, s) }
+			callsA := 0
+			resA := Minimize(m, bumpyObjective(&callsA), x0, optsA)
+			if len(snaps) < 3 {
+				t.Fatalf("only %d snapshots for %d iterations", len(snaps), resA.Iters)
+			}
+			for _, idx := range []int{0, len(snaps) / 2, len(snaps) - 1} {
+				st := snaps[idx]
+				// Round-trip through JSON: the serialized form is what a
+				// checkpoint file actually restores.
+				data, err := json.Marshal(st)
+				if err != nil {
+					t.Fatalf("marshal snapshot %d: %v", idx, err)
+				}
+				var back State
+				if err := json.Unmarshal(data, &back); err != nil {
+					t.Fatalf("unmarshal snapshot %d: %v", idx, err)
+				}
+				optsB := base
+				optsB.Resume = &back
+				callsB := 0
+				resB := Minimize(m, bumpyObjective(&callsB), x0, optsB)
+				if !resultsEqual(resA, resB) {
+					t.Fatalf("snapshot %d (iter %d): resumed result diverged:\n full  %+v\n resum %+v",
+						idx, st.Iter, resA, resB)
+				}
+				if got, want := st.Evals+callsB, callsA; got != want {
+					t.Errorf("snapshot %d: consumed %d evals before + %d after, want %d total",
+						idx, st.Evals, callsB, want)
+				}
+			}
+		})
+	}
+}
+
+// TestResumeMismatchIgnored: a snapshot from another method or dimension
+// must not derail the run — it is ignored and the optimizer starts
+// fresh, identical to a run without Resume.
+func TestResumeMismatchIgnored(t *testing.T) {
+	x0 := []float64{0.5, 1.5}
+	calls := 0
+	fresh := Minimize(MethodPowell, bumpyObjective(&calls), x0, Options{MaxIter: 20})
+	for _, st := range []*State{
+		nil,
+		{Method: string(MethodSPSA), Dim: 2, Iter: 3, X: []float64{0, 0}},
+		{Method: string(MethodPowell), Dim: 7, Iter: 3, X: []float64{0, 0}},
+	} {
+		calls = 0
+		got := Minimize(MethodPowell, bumpyObjective(&calls), x0, Options{MaxIter: 20, Resume: st})
+		if !resultsEqual(fresh, got) {
+			t.Fatalf("mismatched snapshot %+v changed the run: %+v vs %+v", st, got, fresh)
+		}
+	}
+}
+
+// TestSnapshotDeepCopies: retained snapshots must not alias optimizer
+// buffers that later iterations mutate.
+func TestSnapshotDeepCopies(t *testing.T) {
+	x0 := []float64{0.8, -0.4}
+	var first *State
+	var firstJSON []byte
+	calls := 0
+	opts := Options{MaxIter: 30}
+	opts.OnSnapshot = func(s *State) {
+		if first == nil {
+			first = s
+			var err error
+			firstJSON, err = json.Marshal(s)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+		}
+	}
+	Minimize(MethodNelderMead, bumpyObjective(&calls), x0, opts)
+	after, err := json.Marshal(first)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if string(firstJSON) != string(after) {
+		t.Fatalf("first snapshot mutated by later iterations:\n before %s\n after  %s", firstJSON, after)
+	}
+}
+
+// TestSnapshotDisabledZeroAlloc locks the acceptance bound: with
+// OnSnapshot nil the per-iteration checkpoint guard allocates nothing.
+func TestSnapshotDisabledZeroAlloc(t *testing.T) {
+	bf := newBudgetFn(func(x []float64) float64 { return 0 }, 10)
+	var o Options
+	pts := [][]float64{{0}, {1}}
+	vals := []float64{0, 1}
+	allocs := testing.AllocsPerRun(200, func() {
+		o.snapshotCOBYLA(1, bf, pts, vals, 0.5)
+		o.snapshotPowell(1, bf, pts, pts[0], 0)
+		if o.OnSnapshot != nil {
+			t.Fatal("unreachable")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled snapshot path allocates %.1f per iteration, want 0", allocs)
+	}
+}
+
+// TestStateClone: Clone must produce an independent deep copy.
+func TestStateClone(t *testing.T) {
+	s := &State{Method: "powell", Dim: 2, Iter: 3, BestX: []float64{1, 2},
+		Points: [][]float64{{1, 0}, {0, 1}}, Values: []float64{4, 5}, X: []float64{9, 9}}
+	c := s.Clone()
+	c.BestX[0] = -1
+	c.Points[0][0] = -1
+	c.Values[0] = -1
+	c.X[0] = -1
+	if s.BestX[0] != 1 || s.Points[0][0] != 1 || s.Values[0] != 4 || s.X[0] != 9 {
+		t.Fatalf("Clone aliased the original: %+v", s)
+	}
+	if (*State)(nil).Clone() != nil {
+		t.Fatal("nil Clone should be nil")
+	}
+}

@@ -1,0 +1,99 @@
+package parallel
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestStreamSourceStreamIdentity: state capture must never perturb the
+// stream — a Rand over a StreamSource emits bit-identical values to
+// NewRand for the same (base, stream). The draw count deliberately
+// crosses the 607-value state length, exercising both the replay
+// buffer and the direct recurrence.
+func TestStreamSourceStreamIdentity(t *testing.T) {
+	plain := NewRand(42, 3)
+	cs := NewStreamSource(42, 3)
+	counted := cs.Rand()
+	for i := 0; i < 5000; i++ {
+		switch i % 4 {
+		case 0:
+			if a, b := plain.Float64(), counted.Float64(); a != b {
+				t.Fatalf("draw %d: Float64 %v != %v", i, a, b)
+			}
+		case 1:
+			if a, b := plain.Intn(7), counted.Intn(7); a != b {
+				t.Fatalf("draw %d: Intn %v != %v", i, a, b)
+			}
+		case 2:
+			if a, b := plain.NormFloat64(), counted.NormFloat64(); a != b {
+				t.Fatalf("draw %d: NormFloat64 %v != %v", i, a, b)
+			}
+		case 3:
+			if a, b := plain.Uint64(), counted.Uint64(); a != b {
+				t.Fatalf("draw %d: Uint64 %v != %v", i, a, b)
+			}
+		}
+	}
+	if cs.fallback != nil {
+		t.Fatal("recurrence self-check rejected the real math/rand stream")
+	}
+}
+
+// TestStreamSourceStateRestore: a fresh source restored from State()
+// continues exactly where the captured source left off, for states
+// taken both inside the 607-draw replay window (position record) and
+// far past it (full generator state), regardless of draw kinds.
+func TestStreamSourceStateRestore(t *testing.T) {
+	for _, draws := range []int{0, 1, 300, 607, 900, 20000} {
+		orig := NewStreamSource(9, 1)
+		r := orig.Rand()
+		for i := 0; i < draws; i++ {
+			// Mixed draw kinds; each advances the generator one step.
+			if i%2 == 0 {
+				r.Float64()
+			} else {
+				r.Int63()
+			}
+		}
+		state := orig.State()
+		if err := ValidateStreamState(state); err != nil {
+			t.Fatalf("draws=%d: State() fails its own validation: %v", draws, err)
+		}
+
+		replay := NewStreamSource(9, 1)
+		if err := replay.RestoreState(state); err != nil {
+			t.Fatalf("draws=%d: RestoreState: %v", draws, err)
+		}
+		r2 := replay.Rand()
+		for i := 0; i < 50; i++ {
+			if a, b := r.Uint64(), r2.Uint64(); a != b {
+				t.Fatalf("draws=%d: post-restore draw %d diverged: %v != %v", draws, i, a, b)
+			}
+		}
+	}
+}
+
+// TestStreamSourceStateRejectsGarbage: restore must refuse structurally
+// invalid states instead of silently emitting a corrupt stream.
+func TestStreamSourceStateRejectsGarbage(t *testing.T) {
+	s := NewStreamSource(3, 0)
+	for name, data := range map[string][]byte{
+		"empty":        nil,
+		"unknown tag":  {7, 0, 0},
+		"short pos":    {streamStatePos, 1, 2},
+		"short full":   {streamStateFull, 0, 0, 0, 0, 1},
+		"cursor range": append([]byte{streamStateFull, 0xFF, 0xFF, 0xFF, 0xFF}, bytes.Repeat([]byte{0}, 8*rngLen)...),
+	} {
+		if err := s.RestoreState(data); err == nil {
+			t.Errorf("%s: RestoreState accepted invalid state", name)
+		}
+	}
+	// A rejected restore must leave the source usable and on-stream.
+	want := NewRand(3, 0)
+	got := s.Rand()
+	for i := 0; i < 10; i++ {
+		if a, b := want.Uint64(), got.Uint64(); a != b {
+			t.Fatalf("draw %d after rejected restores diverged", i)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -26,6 +27,11 @@ const (
 type job struct {
 	id  string
 	key string // spec hash + config fingerprint (cache key)
+
+	// family/scale identify the generator bucket for warm-start
+	// recording; empty/zero for inline specs.
+	family string
+	scale  int
 
 	problem *problems.Problem
 	opts    core.Options
@@ -172,9 +178,9 @@ func (s *jobStore) createDone(result []byte, cached bool) *job {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	j := &job{
-		id:     fmt.Sprintf("job-%08d", s.seq),
-		ctx:    ctx,
-		cancel: cancel,
+		id:      fmt.Sprintf("job-%08d", s.seq),
+		ctx:     ctx,
+		cancel:  cancel,
 		status:  StatusDone,
 		result:  result,
 		cached:  cached,
@@ -221,4 +227,91 @@ func (s *jobStore) get(id string) (*job, bool) {
 	defer s.mu.Unlock()
 	j, ok := s.byID[id]
 	return j, ok
+}
+
+// bumpSeq advances the id sequence past a recovered job id, so jobs
+// accepted after a restart never collide with journaled ones.
+func (s *jobStore) bumpSeq(id string) {
+	var n uint64
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil {
+		return
+	}
+	s.mu.Lock()
+	if n > s.seq {
+		s.seq = n
+	}
+	s.mu.Unlock()
+}
+
+// restoreTerminal registers a terminal job under its original id
+// (journal recovery: the job stays queryable across restarts).
+func (s *jobStore) restoreTerminal(id string, status Status, result []byte, errMsg string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	j := &job{
+		id:      id,
+		ctx:     ctx,
+		cancel:  cancel,
+		status:  status,
+		result:  result,
+		errMsg:  errMsg,
+		settled: true,
+		done:    make(chan struct{}),
+	}
+	close(j.done)
+	s.byID[id] = j
+	s.retain(id)
+	return j
+}
+
+// restoreActive registers a recovered queued job under its original id;
+// the caller submits it to the queue.
+func (s *jobStore) restoreActive(base context.Context, id, key string, p *problems.Problem, opts core.Options, deadline time.Duration) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ctx, cancel := context.WithTimeout(base, deadline)
+	j := &job{
+		id:       id,
+		key:      key,
+		problem:  p,
+		opts:     opts,
+		ctx:      ctx,
+		cancel:   cancel,
+		status:   StatusQueued,
+		accepted: time.Now(),
+		done:     make(chan struct{}),
+	}
+	s.byID[id] = j
+	s.inflight[key] = j
+	return j
+}
+
+// list returns job summaries in id order, optionally filtered by
+// status, with offset/limit pagination. total is the filtered count
+// before pagination.
+func (s *jobStore) list(status Status, offset, limit int) (views []jobView, total int) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.byID))
+	for _, j := range s.byID {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].id < jobs[k].id })
+	views = []jobView{}
+	for _, j := range jobs {
+		v := j.snapshot()
+		if status != "" && v.Status != status {
+			continue
+		}
+		total++
+		if total <= offset || len(views) >= limit {
+			continue
+		}
+		v.Result = nil // listings are summaries, not payloads
+		v.Telemetry = nil
+		views = append(views, v)
+	}
+	return views, total
 }

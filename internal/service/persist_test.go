@@ -1,0 +1,327 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rasengan/internal/core"
+	"rasengan/internal/problems"
+)
+
+// openDurable builds a server with a data directory whose lifecycle the
+// test drives explicitly (restart tests need to close one instance and
+// open another over the same directory).
+func openDurable(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open durable server: %v", err)
+	}
+	return s, httptest.NewServer(s.Handler())
+}
+
+func shutdown(t *testing.T, s *Server, ts *httptest.Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	ts.Close()
+}
+
+// TestPersistenceRestartRoundTrip: a completed job survives a clean
+// restart — queryable under its original id with byte-identical result,
+// and the result cache is rehydrated from the blob store.
+func TestPersistenceRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	req := `{"spec":{"family":"FLP","scale":1,"case":0},"config":{"seed":1,"max_iter":20},"wait_ms":60000}`
+
+	a, tsA := openDurable(t, Config{DataDir: dir})
+	code, sr1, _ := postSolve(t, tsA, req)
+	if code != http.StatusOK || sr1.Status != StatusDone {
+		t.Fatalf("solve: code %d status %s error %q", code, sr1.Status, sr1.Error)
+	}
+	if len(sr1.Result) == 0 {
+		t.Fatal("done job carried no result")
+	}
+	shutdown(t, a, tsA)
+
+	b, tsB := openDurable(t, Config{DataDir: dir})
+	defer shutdown(t, b, tsB)
+
+	// Original job id resolves with the identical payload.
+	body := getBody(t, tsB.URL+"/v1/jobs/"+sr1.JobID)
+	var recovered solveResponse
+	if err := json.Unmarshal([]byte(body), &recovered); err != nil {
+		t.Fatalf("job after restart: %v (%s)", err, body)
+	}
+	if recovered.Status != StatusDone {
+		t.Fatalf("recovered job status %s, want done", recovered.Status)
+	}
+	if !bytes.Equal(recovered.Result, sr1.Result) {
+		t.Errorf("recovered result differs:\n%s\n%s", recovered.Result, sr1.Result)
+	}
+
+	// The cache was rehydrated: the identical request is a hit with the
+	// byte-identical payload, no recomputation.
+	code, sr2, _ := postSolve(t, tsB, req)
+	if code != http.StatusOK || !sr2.Cached {
+		t.Fatalf("after restart: code %d cached %v, want cache hit", code, sr2.Cached)
+	}
+	if !bytes.Equal(sr2.Result, sr1.Result) {
+		t.Error("rehydrated cache payload differs from the original")
+	}
+
+	metricsText := getBody(t, tsB.URL+"/metrics")
+	if !strings.Contains(metricsText, "rasengan_jobs_recovered_total 1") {
+		t.Errorf("metrics missing recovered counter:\n%s", grepMetrics(metricsText, "recovered"))
+	}
+}
+
+// TestCrashRecoveryReenqueuesInterrupted: a job that was running when
+// the server died is re-enqueued under its original id at the next
+// startup, and the replayed solve yields the byte-identical payload a
+// direct solve of the same request produces.
+func TestCrashRecoveryReenqueuesInterrupted(t *testing.T) {
+	dir := t.TempDir()
+	block := make(chan struct{})
+	a, tsA := openDurable(t, Config{DataDir: dir, Executors: 1, Solve: stubSolve(block)})
+
+	req := `{"spec":{"family":"FLP","scale":1,"case":1},"config":{"seed":7,"max_iter":15}}`
+	code, sr, _ := postSolve(t, tsA, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code %d status %s", code, sr.Status)
+	}
+	// Crash: the journal goes away mid-run, so the terminal state is
+	// never recorded. Later journal writes fail (logged, not fatal).
+	if err := a.persist.journal.Close(); err != nil {
+		t.Fatalf("simulated crash: %v", err)
+	}
+	close(block)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	_ = a.Drain(ctx)
+	tsA.Close()
+
+	// Restart with the real solver: the journaled submission replays.
+	b, tsB := openDurable(t, Config{DataDir: dir})
+	defer shutdown(t, b, tsB)
+
+	deadline := time.Now().Add(60 * time.Second)
+	var final solveResponse
+	for {
+		body := getBody(t, tsB.URL+"/v1/jobs/"+sr.JobID)
+		if err := json.Unmarshal([]byte(body), &final); err != nil {
+			t.Fatalf("job %s after restart: %v (%s)", sr.JobID, err, body)
+		}
+		if final.Status == StatusDone || final.Status == StatusFailed || final.Status == StatusCanceled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after restart", sr.JobID, final.Status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if final.Status != StatusDone {
+		t.Fatalf("replayed job ended %s (%s)", final.Status, final.Error)
+	}
+
+	// Byte-identity: the replayed payload equals a direct solve.
+	spec, err := problems.ParseSpec([]byte(`{"family":"FLP","scale":1,"case":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := b.buildOptions(solveConfig{Seed: 7, MaxIter: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Solve(context.Background(), p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MarshalResultPayload(p, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(final.Result, want) {
+		t.Errorf("replayed payload differs from direct solve:\n%s\n%s", final.Result, want)
+	}
+}
+
+// TestWarmStartStore: opt-in warm starts miss cold, hit exact on the
+// second request for the same spec, hit the (family, scale) bucket for a
+// sibling instance — and injection happens before the cache key, so a
+// warm-started request never aliases a cold one's cache entry.
+func TestWarmStartStore(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := openDurable(t, Config{DataDir: dir})
+	defer shutdown(t, s, ts)
+
+	warm := `{"spec":{"family":"FLP","scale":1,"case":0},"config":{"seed":3,"max_iter":15,"warm_start":true},"wait_ms":60000}`
+	code, sr1, _ := postSolve(t, ts, warm)
+	if code != http.StatusOK || sr1.Status != StatusDone {
+		t.Fatalf("cold warm-start solve: code %d status %s error %q", code, sr1.Status, sr1.Error)
+	}
+	if s.warmMisses.Value() != 1 {
+		t.Errorf("warm misses = %v, want 1", s.warmMisses.Value())
+	}
+
+	// Same spec again: exact hit. The injected times change the resolved
+	// options, so this is a NEW cache key — a computed job, not a hit on
+	// the cold entry.
+	code, sr2, _ := postSolve(t, ts, warm)
+	if code != http.StatusOK || sr2.Status != StatusDone {
+		t.Fatalf("warm solve: code %d status %s error %q", code, sr2.Status, sr2.Error)
+	}
+	if sr2.Cached {
+		t.Error("warm-started request aliased the cold request's cache entry")
+	}
+	if s.warmHitsExact.Value() != 1 {
+		t.Errorf("exact warm hits = %v, want 1", s.warmHitsExact.Value())
+	}
+
+	// A third warm request hits the store again (the stored entry may
+	// have been refreshed by the second solve, so the cache key can
+	// differ — but the lookup itself is a hit either way).
+	code, sr3, _ := postSolve(t, ts, warm)
+	if code != http.StatusOK || sr3.Status != StatusDone {
+		t.Fatalf("repeat warm solve: code %d status %s", code, sr3.Status)
+	}
+	if s.warmHitsExact.Value() != 2 {
+		t.Errorf("exact warm hits = %v, want 2", s.warmHitsExact.Value())
+	}
+
+	// A sibling instance (same family and scale, different case) misses
+	// exact but hits the family bucket.
+	sibling := `{"spec":{"family":"FLP","scale":1,"case":2},"config":{"seed":3,"max_iter":15,"warm_start":true},"wait_ms":60000}`
+	code, sr4, _ := postSolve(t, ts, sibling)
+	if code != http.StatusOK || sr4.Status != StatusDone {
+		t.Fatalf("sibling warm solve: code %d status %s error %q", code, sr4.Status, sr4.Error)
+	}
+	if s.warmHitsFamily.Value() != 1 {
+		t.Errorf("family warm hits = %v, want 1", s.warmHitsFamily.Value())
+	}
+
+	metricsText := getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`rasengan_warmstart_hits_total{kind="exact"} 2`,
+		`rasengan_warmstart_hits_total{kind="family"} 1`,
+		`rasengan_store_entries{store="warmstart"}`,
+		"rasengan_warmstart_hit_ratio 0.75",
+	} {
+		if !strings.Contains(metricsText, want) {
+			t.Errorf("metrics missing %q:\n%s", want, grepMetrics(metricsText, "warm"))
+		}
+	}
+}
+
+// TestWarmStartInertWithoutDataDir: warm_start on an in-memory server is
+// a no-op, not an error.
+func TestWarmStartInertWithoutDataDir(t *testing.T) {
+	_, ts := newTestServer(t, Config{Solve: stubSolve(nil)})
+	code, sr, _ := postSolve(t, ts, `{"spec":{"family":"FLP","scale":1,"case":0},"config":{"warm_start":true},"wait_ms":60000}`)
+	if code != http.StatusOK || sr.Status != StatusDone {
+		t.Fatalf("warm_start without data dir: code %d status %s error %q", code, sr.Status, sr.Error)
+	}
+}
+
+// TestJobsListing: GET /v1/jobs paginates id-ordered summaries with a
+// state filter and validated query parameters.
+func TestJobsListing(t *testing.T) {
+	_, ts := newTestServer(t, Config{Solve: stubSolve(nil)})
+	for i := 0; i < 5; i++ {
+		body := fmt.Sprintf(`{"spec":{"family":"FLP","scale":1,"case":%d},"wait_ms":60000}`, i)
+		if code, sr, _ := postSolve(t, ts, body); code != http.StatusOK || sr.Status != StatusDone {
+			t.Fatalf("seed job %d: code %d status %s", i, code, sr.Status)
+		}
+	}
+
+	var list jobsResponse
+	if err := json.Unmarshal([]byte(getBody(t, ts.URL+"/v1/jobs?state=done")), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Total != 5 || len(list.Jobs) != 5 {
+		t.Fatalf("done listing: total %d, %d jobs, want 5/5", list.Total, len(list.Jobs))
+	}
+	for i := 1; i < len(list.Jobs); i++ {
+		if list.Jobs[i-1].ID >= list.Jobs[i].ID {
+			t.Fatalf("listing not id-ordered: %s before %s", list.Jobs[i-1].ID, list.Jobs[i].ID)
+		}
+	}
+
+	// Pagination: limit 2 offset 3 yields the 4th and 5th jobs with the
+	// unpaginated total.
+	if err := json.Unmarshal([]byte(getBody(t, ts.URL+"/v1/jobs?limit=2&offset=3")), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Total != 5 || len(list.Jobs) != 2 || list.Limit != 2 || list.Offset != 3 {
+		t.Fatalf("paginated listing: total %d, %d jobs, limit %d, offset %d", list.Total, len(list.Jobs), list.Limit, list.Offset)
+	}
+
+	// Filters that match nothing are empty, not errors.
+	if err := json.Unmarshal([]byte(getBody(t, ts.URL+"/v1/jobs?state=failed")), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Total != 0 || len(list.Jobs) != 0 {
+		t.Fatalf("failed listing: total %d, %d jobs, want empty", list.Total, len(list.Jobs))
+	}
+
+	// Invalid parameters are 400s.
+	for _, q := range []string{"?state=bogus", "?limit=0", "?limit=9999", "?offset=-1", "?limit=x"} {
+		resp, err := http.Get(ts.URL + "/v1/jobs" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET /v1/jobs%s: code %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestCapacityGauges: retention and cache capacity are visible on
+// /metrics, with the disabled-cache sentinel reported as 0.
+func TestCapacityGauges(t *testing.T) {
+	_, ts := newTestServer(t, Config{Solve: stubSolve(nil), CacheEntries: 7, JobRetention: 3})
+	metricsText := getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"rasengan_cache_capacity 7",
+		"rasengan_job_retention_capacity 3",
+	} {
+		if !strings.Contains(metricsText, want) {
+			t.Errorf("metrics missing %q:\n%s", want, grepMetrics(metricsText, "capacity"))
+		}
+	}
+
+	_, ts2 := newTestServer(t, Config{Solve: stubSolve(nil), CacheEntries: -1})
+	if !strings.Contains(getBody(t, ts2.URL+"/metrics"), "rasengan_cache_capacity 0") {
+		t.Error("disabled cache should expose capacity 0")
+	}
+}
+
+// grepMetrics filters exposition text to lines containing needle, for
+// readable failure messages.
+func grepMetrics(text, needle string) string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, needle) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"time"
 
 	"rasengan/internal/core"
@@ -49,6 +50,19 @@ type Config struct {
 	// JobRetention bounds how many terminal jobs stay queryable via
 	// GET /v1/jobs (default 1024).
 	JobRetention int
+	// DataDir, when non-empty, turns on the durability layer: accepted
+	// jobs are journaled to a WAL under this directory, result payloads
+	// land in a content-addressed blob store, and on startup the journal
+	// replays — terminal jobs come back queryable, interrupted jobs are
+	// re-enqueued under their original ids, and the result cache is
+	// rehydrated from blobs. The directory also holds the warm-start
+	// parameter store. Empty keeps the server fully in-memory.
+	// Servers with a DataDir must be built with Open (New panics on a
+	// persistence failure).
+	DataDir string
+	// WarmStartCapacity bounds the warm-start parameter store (default
+	// 4096 vectors; only meaningful with DataDir set).
+	WarmStartCapacity int
 	// Engine is the server-wide execution engine (core.EngineMap or
 	// core.EngineCompiled; empty = core default) applied to every solve.
 	// It is deliberately not part of the request schema or the cache key:
@@ -99,35 +113,52 @@ func (c Config) withDefaults() Config {
 // Server is the solve service: HTTP handlers over a bounded job queue, a
 // content-addressed result cache, and Prometheus-text metrics.
 type Server struct {
-	cfg   Config
-	reg   *metrics.Registry
-	cache *lruCache
-	jobs  *jobStore
-	queue *jobQueue
+	cfg     Config
+	reg     *metrics.Registry
+	cache   *lruCache
+	jobs    *jobStore
+	queue   *jobQueue
+	persist *persistence // nil without Config.DataDir
 
 	problemsJSON []byte // precomputed GET /v1/problems body
 
 	log *slog.Logger
 
-	reqDuration   metrics.Histogram
-	solveDuration metrics.Histogram
-	cacheHits     metrics.Counter
-	cacheMisses   metrics.Counter
-	jobsSubmitted metrics.Counter
-	jobsCompleted metrics.Counter
-	jobsFailed    metrics.Counter
-	jobsCancelled metrics.Counter
-	jobsCoalesced metrics.Counter
-	rejectedFull  metrics.Counter
-	rejectedDrain metrics.Counter
-	solverPanics  metrics.Counter
-	inflight      metrics.Gauge
-	solvesRunning metrics.Gauge
+	reqDuration    metrics.Histogram
+	solveDuration  metrics.Histogram
+	cacheHits      metrics.Counter
+	cacheMisses    metrics.Counter
+	jobsSubmitted  metrics.Counter
+	jobsCompleted  metrics.Counter
+	jobsFailed     metrics.Counter
+	jobsCancelled  metrics.Counter
+	jobsCoalesced  metrics.Counter
+	rejectedFull   metrics.Counter
+	rejectedDrain  metrics.Counter
+	solverPanics   metrics.Counter
+	jobsRecovered  metrics.Counter
+	warmHitsExact  metrics.Counter
+	warmHitsFamily metrics.Counter
+	warmMisses     metrics.Counter
+	inflight       metrics.Gauge
+	solvesRunning  metrics.Gauge
 }
 
 // New builds a server and starts its executor goroutines. Call Drain to
-// stop accepting work and wait for accepted jobs.
+// stop accepting work and wait for accepted jobs. New panics if
+// Config.DataDir is set and the durable stores cannot be opened; use
+// Open for error handling.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic("service: " + err.Error())
+	}
+	return s
+}
+
+// Open builds a server, opening and replaying the durability layer when
+// Config.DataDir is set. Call Drain then Close to shut down cleanly.
+func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
@@ -150,6 +181,10 @@ func New(cfg Config) *Server {
 	s.jobsCancelled = r.Counter("rasengan_jobs_cancelled_total", "Jobs whose solve stopped at a context cancellation or deadline instead of completing.")
 	s.solverPanics = r.Counter("rasengan_solver_panics_total", "Solver panics recovered and converted into failed jobs.")
 	s.jobsCoalesced = r.Counter("rasengan_jobs_coalesced_total", "Requests joined onto an identical in-flight job.")
+	s.jobsRecovered = r.Counter("rasengan_jobs_recovered_total", "Jobs restored from the journal at startup (terminal and re-enqueued).")
+	s.warmHitsExact = r.CounterWith("rasengan_warmstart_hits_total", "Warm-start lookups served from the parameter store.", [2]string{"kind", "exact"})
+	s.warmHitsFamily = r.CounterWith("rasengan_warmstart_hits_total", "Warm-start lookups served from the parameter store.", [2]string{"kind", "family"})
+	s.warmMisses = r.Counter("rasengan_warmstart_misses_total", "Warm-start lookups that found no stored parameters.")
 	s.rejectedFull = r.Counter("rasengan_jobs_rejected_queue_full_total", "Submissions rejected with 429 (queue full).")
 	s.rejectedDrain = r.Counter("rasengan_jobs_rejected_draining_total", "Submissions rejected with 503 (draining).")
 	s.inflight = r.Gauge("rasengan_jobs_inflight", "Jobs queued or running.")
@@ -167,7 +202,49 @@ func New(cfg Config) *Server {
 		_, _, ev := s.cache.Stats()
 		return float64(ev)
 	})
-	return s
+	r.GaugeFunc("rasengan_cache_capacity", "Result-cache entry capacity (0 when caching is disabled).", func() float64 {
+		if cfg.CacheEntries < 0 {
+			return 0
+		}
+		return float64(cfg.CacheEntries)
+	})
+	r.GaugeFunc("rasengan_job_retention_capacity", "Terminal-job retention ring capacity.", func() float64 {
+		return float64(cfg.JobRetention)
+	})
+	r.GaugeFunc("rasengan_warmstart_hit_ratio", "Fraction of warm-start lookups served from the store.", func() float64 {
+		hits := s.warmHitsExact.Value() + s.warmHitsFamily.Value()
+		total := hits + s.warmMisses.Value()
+		if total == 0 {
+			return 0
+		}
+		return hits / total
+	})
+
+	if cfg.DataDir != "" {
+		persist, entries, err := openPersistence(cfg.DataDir, cfg.WarmStartCapacity)
+		if err != nil {
+			return nil, err
+		}
+		s.persist = persist
+		r.GaugeFuncWith("rasengan_store_entries", "Entries resident per durable store.", func() float64 {
+			return float64(persist.warm.Len())
+		}, [2]string{"store", "warmstart"})
+		r.GaugeFuncWith("rasengan_store_entries", "Entries resident per durable store.", func() float64 {
+			keys, err := persist.blobs.Keys()
+			if err != nil {
+				return -1
+			}
+			return float64(len(keys))
+		}, [2]string{"store", "blobs"})
+		r.GaugeFunc("rasengan_wal_fsyncs", "fsync calls issued by the journal WAL (group commit batches appends).", func() float64 {
+			return float64(persist.journal.Syncs())
+		})
+		if err := s.recover(entries); err != nil {
+			persist.journal.Close()
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // Metrics exposes the registry (the binary shares it for build info).
@@ -181,6 +258,7 @@ func (s *Server) Drain(ctx context.Context) error { return s.queue.Drain(ctx) }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.instrument("solve", s.handleSolve))
+	mux.HandleFunc("GET /v1/jobs", s.instrument("jobs", s.handleJobs))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("job", s.handleJob))
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.instrument("cancel", s.handleCancel))
 	mux.HandleFunc("GET /v1/problems", s.instrument("problems", s.handleProblems))
@@ -235,6 +313,13 @@ type solveConfig struct {
 	Shots         int    `json:"shots,omitempty"`
 	Device        string `json:"device,omitempty"`
 	SparsestFirst bool   `json:"sparsest_first,omitempty"`
+	// WarmStart opts in to seeding the optimizer from the server's
+	// warm-start parameter store (exact spec match first, then the
+	// (family, scale) bucket). Inert on servers without a data
+	// directory. The injected parameters become part of the resolved
+	// options — and therefore of the cache key — so warm-started and
+	// cold requests never alias.
+	WarmStart bool `json:"warm_start,omitempty"`
 }
 
 func (s *Server) buildOptions(c solveConfig) (core.Options, error) {
@@ -326,6 +411,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "invalid config: %v", err)
 		return
 	}
+	if req.Config.WarmStart {
+		// Inject before the key is computed: the fingerprint must cover
+		// the initial times actually used (see lookupWarmStart).
+		opts.InitialTimes = s.lookupWarmStart(spec, specHash)
+	}
 	key := specHash + "/" + core.OptionsFingerprint(opts)
 
 	// Cache first: identical (spec, config) requests never re-simulate.
@@ -360,7 +450,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if joined {
 		s.jobsCoalesced.Inc()
 	} else {
+		j.family, j.scale = spec.Family, spec.Scale
+		// Journal before Submit: once an executor can see the job, its
+		// lifecycle records must find the submit record already appended
+		// (the journal fold drops records for ids it never saw submitted).
+		s.journalAccept(j, req.Spec, req.Config, req.TimeoutMS, opts.InitialTimes, p.Name)
 		if err := s.queue.Submit(j); err != nil {
+			s.journalState(j, StatusCanceled, "not enqueued")
 			j.finish(StatusCanceled, nil, "not enqueued")
 			s.jobs.settle(j)
 			switch {
@@ -411,6 +507,62 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.respondJob(w, j)
+}
+
+// jobsResponse is the envelope of GET /v1/jobs: paginated summaries
+// (no result payloads or telemetry) in job-id order.
+type jobsResponse struct {
+	Jobs   []jobView `json:"jobs"`
+	Total  int       `json:"total"`
+	Offset int       `json:"offset"`
+	Limit  int       `json:"limit"`
+}
+
+const (
+	defaultListLimit = 50
+	maxListLimit     = 500
+)
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var status Status
+	if raw := q.Get("state"); raw != "" {
+		switch Status(raw) {
+		case StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCanceled:
+			status = Status(raw)
+		default:
+			writeError(w, http.StatusBadRequest,
+				"unknown state %q (want queued, running, done, failed, or canceled)", raw)
+			return
+		}
+	}
+	limit, err := queryInt(q.Get("limit"), defaultListLimit, 1, maxListLimit)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid limit: %v", err)
+		return
+	}
+	offset, err := queryInt(q.Get("offset"), 0, 0, 1<<30)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid offset: %v", err)
+		return
+	}
+	views, total := s.jobs.list(status, offset, limit)
+	writeJSON(w, http.StatusOK, jobsResponse{Jobs: views, Total: total, Offset: offset, Limit: limit})
+}
+
+// queryInt parses an optional integer query parameter within [min, max].
+func queryInt(raw string, def, min, max int) (int, error) {
+	if raw == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("%q is not an integer", raw)
+	}
+	if n < min || n > max {
+		return 0, fmt.Errorf("%d out of range [%d,%d]", n, min, max)
+	}
+	return n, nil
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -468,6 +620,7 @@ func (s *Server) runJob(j *job) {
 	rec := obs.NewRecorder()
 	j.opts.Telemetry.Spans = rec
 	j.opts.Telemetry.Convergence = true
+	s.journalState(j, StatusRunning, "")
 	s.log.Info("job running", "job_id", j.id, "spec_hash", j.key, "problem", j.problem.Name)
 	s.solvesRunning.Inc()
 	start := time.Now()
@@ -485,6 +638,7 @@ func (s *Server) runJob(j *job) {
 		if errors.Is(err, core.ErrSolvePanic) {
 			s.solverPanics.Inc()
 		}
+		s.journalState(j, StatusFailed, err.Error())
 		j.finish(StatusFailed, nil, err.Error())
 		s.jobsFailed.Inc()
 		s.log.Warn("job failed", "job_id", j.id, "spec_hash", j.key,
@@ -495,11 +649,15 @@ func (s *Server) runJob(j *job) {
 	s.observeStages(rec)
 	payload, err := marshalResult(j.problem, res)
 	if err != nil {
+		s.journalState(j, StatusFailed, "marshal result: "+err.Error())
 		j.finish(StatusFailed, nil, "marshal result: "+err.Error())
 		s.jobsFailed.Inc()
 		return
 	}
 	j.setConvergence(res.Convergence)
+	s.recordWarm(j, res.Times)
+	s.journalResult(j, payload)
+	s.journalState(j, StatusDone, "")
 	s.cache.Put(j.key, payload)
 	j.finish(StatusDone, payload, "")
 	s.jobsCompleted.Inc()
@@ -538,11 +696,13 @@ func (s *Server) runSolve(j *job) (res *core.Result, err error) {
 func (s *Server) finishErr(j *job, err error) {
 	s.jobsCancelled.Inc()
 	if errors.Is(err, context.DeadlineExceeded) {
+		s.journalState(j, StatusFailed, "deadline exceeded")
 		j.finish(StatusFailed, nil, "deadline exceeded")
 		s.jobsFailed.Inc()
 		s.log.Warn("job deadline exceeded", "job_id", j.id, "spec_hash", j.key)
 		return
 	}
+	s.journalState(j, StatusCanceled, "canceled")
 	j.finish(StatusCanceled, nil, "canceled")
 	s.log.Info("job cancelled", "job_id", j.id, "spec_hash", j.key)
 }

@@ -1,0 +1,83 @@
+// Package store is the durable persistence layer: a CRC-framed
+// write-ahead log with group-commit fsync batching, a content-addressed
+// blob store, a job journal (WAL + snapshot compaction) the serving
+// layer replays on startup, and a warm-start parameter store. Every
+// on-disk structure is either append-only with per-record checksums
+// (the WAL — torn tails are truncated, never trusted) or replaced
+// atomically via temp-file + rename, so a crash at any instant leaves a
+// readable store.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path with crash-safe replace
+// semantics: the bytes land in a temp file in the same directory, are
+// fsynced, and then renamed over the target. Readers see either the old
+// complete file or the new complete file, never a torn mix.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: atomic write %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: atomic write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: atomic write %s: %w", path, err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: atomic write %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: atomic write %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("store: atomic write %s: %w", path, err)
+	}
+	return syncDir(dir)
+}
+
+// WriteFileAtomicNoSync replaces path atomically without fsync. The
+// rename still guarantees readers see a complete old or new file —
+// never a torn mix — which covers every process-crash scenario
+// (SIGKILL included). What it does not survive is a machine power loss
+// in the instant after the rename, where the file may come back as the
+// previous version. That trade is right for high-frequency recovery
+// hints like solver checkpoints: losing the newest snapshot costs
+// re-running a few iterations, while the ~10× cheaper write keeps
+// per-iteration checkpointing affordable. Durable records (the job
+// journal, blobs) use WriteFileAtomic or the fsynced WAL instead.
+// Concurrent writers of the same path must be externally serialized
+// (the checkpoint assembler's single-flight flusher is).
+func WriteFileAtomicNoSync(path string, data []byte, perm os.FileMode) error {
+	tmpName := path + ".tmp"
+	if err := os.WriteFile(tmpName, data, perm); err != nil {
+		return fmt.Errorf("store: atomic write %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: atomic write %s: %w", path, err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil // best-effort: some filesystems refuse directory opens
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

@@ -1,0 +1,118 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Warm-start parameter store: converged evolution-time vectors keyed by
+// an opaque caller-chosen string (the service uses both an exact
+// spec-fingerprint key and a coarser (family, parameter-count) key per
+// recorded solve). Entries persist across restarts via one atomically
+// rewritten JSON file; capacity is bounded with FIFO eviction, which is
+// the right bias here — fresher parameters come from fresher instances.
+
+// warmFileVersion guards the on-disk format.
+const warmFileVersion = 1
+
+// defaultWarmCapacity bounds the store when the caller passes 0.
+const defaultWarmCapacity = 4096
+
+type warmFile struct {
+	Version int      `json:"version"`
+	Order   []string `json:"order"`
+	// Entries maps key → converged evolution times.
+	Entries map[string][]float64 `json:"entries"`
+}
+
+// WarmStore is a bounded, persistent map from key to parameter vector.
+type WarmStore struct {
+	mu      sync.Mutex
+	path    string
+	cap     int
+	order   []string // insertion order, oldest first
+	entries map[string][]float64
+}
+
+// OpenWarmStore loads (or initializes) the store at path. A missing
+// file is an empty store; a corrupt or version-mismatched file is an
+// error (warm starts steer solves, so silently dropping them is fine
+// but silently misreading them is not).
+func OpenWarmStore(path string, capacity int) (*WarmStore, error) {
+	if capacity <= 0 {
+		capacity = defaultWarmCapacity
+	}
+	w := &WarmStore{path: path, cap: capacity, entries: map[string][]float64{}}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return w, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: warm store %s: %w", path, err)
+	}
+	var f warmFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("store: warm store %s: %w", path, err)
+	}
+	if f.Version != warmFileVersion {
+		return nil, fmt.Errorf("store: warm store %s: version %d, want %d", path, f.Version, warmFileVersion)
+	}
+	for _, k := range f.Order {
+		if times, ok := f.Entries[k]; ok {
+			w.order = append(w.order, k)
+			w.entries[k] = times
+		}
+	}
+	return w, nil
+}
+
+// Get returns a copy of the parameter vector for key.
+func (w *WarmStore) Get(key string) ([]float64, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	times, ok := w.entries[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]float64(nil), times...), true
+}
+
+// Put records (or overwrites) key's parameter vector and persists the
+// store. Overwriting refreshes the key's eviction position.
+func (w *WarmStore) Put(key string, times []float64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, exists := w.entries[key]; exists {
+		for i, k := range w.order {
+			if k == key {
+				w.order = append(w.order[:i], w.order[i+1:]...)
+				break
+			}
+		}
+	}
+	w.entries[key] = append([]float64(nil), times...)
+	w.order = append(w.order, key)
+	for len(w.order) > w.cap {
+		evict := w.order[0]
+		w.order = append([]string(nil), w.order[1:]...) // drop without pinning the old backing array
+		delete(w.entries, evict)
+	}
+	return w.persistLocked()
+}
+
+// Len reports how many vectors are stored.
+func (w *WarmStore) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.entries)
+}
+
+func (w *WarmStore) persistLocked() error {
+	data, err := json.Marshal(warmFile{Version: warmFileVersion, Order: w.order, Entries: w.entries})
+	if err != nil {
+		return fmt.Errorf("store: warm store: %w", err)
+	}
+	return WriteFileAtomic(w.path, data, 0o644)
+}

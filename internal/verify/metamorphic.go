@@ -315,6 +315,37 @@ func (cr *caseRunner) solveChecks() {
 	okEng := errM == nil && errC == nil && bytes.Equal(payM, payC)
 	cr.checkf("engine_payload_identity", okEng, 0,
 		"map and compiled engines produced different solve payloads (%v / %v)", errM, errC)
+
+	// Persistence identity: checkpointing must be invisible to the result
+	// (same payload with per-iteration snapshots on), and resuming from a
+	// mid-run snapshot must land on the byte-identical payload too.
+	var snaps [][]byte
+	cko := opts
+	cko.Checkpoint = &core.CheckpointOptions{
+		Every: 1,
+		Write: func(data []byte) error {
+			snaps = append(snaps, append([]byte(nil), data...))
+			return nil
+		},
+	}
+	payK, errK := solvePayload(p, cko)
+	okCk := errK == nil && len(snaps) > 0 && bytes.Equal(payN, payK)
+	cr.checkf("checkpoint_payload_identity", okCk, 0,
+		"per-iteration checkpointing changed the solve payload (err=%v, %d snapshots)", errK, len(snaps))
+
+	if len(snaps) > 0 {
+		ck, errP := core.ParseCheckpoint(snaps[len(snaps)/2])
+		if errP != nil {
+			cr.checkf("resume_identity", false, 0, "mid-run checkpoint failed to parse: %v", errP)
+		} else {
+			ro := opts
+			ro.Resume = ck
+			payRes, errRes := solvePayload(p, ro)
+			okRes := errRes == nil && bytes.Equal(payN, payRes)
+			cr.checkf("resume_identity", okRes, 0,
+				"resume from a mid-run checkpoint produced a different payload (err=%v)", errRes)
+		}
+	}
 }
 
 // solvePayload runs a full solve and renders the service's deterministic

@@ -110,6 +110,30 @@ func SolveContext(ctx context.Context, p *Problem, opts SolveOptions) (*Result, 
 // stack.
 var ErrSolvePanic = core.ErrSolvePanic
 
+// CheckpointOptions turns on mid-solve checkpoint export via
+// SolveOptions.Checkpoint: the solver periodically hands a complete,
+// self-validating checkpoint file to the Write callback. Checkpointing
+// observes the solve and never steers it — payloads are bit-identical
+// with or without it.
+type CheckpointOptions = core.CheckpointOptions
+
+// Checkpoint is a parsed mid-solve checkpoint; assign it to
+// SolveOptions.Resume to continue an interrupted solve. The resumed run
+// skips basis construction and the dry run (the checkpoint carries the
+// serialized pruned schedule) and produces a result payload
+// byte-identical to the uninterrupted run's.
+type Checkpoint = core.Checkpoint
+
+// CheckpointVersion is the current checkpoint file format version;
+// files written by a newer version are rejected by ParseCheckpoint.
+const CheckpointVersion = core.CheckpointVersion
+
+// ParseCheckpoint decodes a checkpoint file previously produced through
+// CheckpointOptions.Write.
+func ParseCheckpoint(data []byte) (*Checkpoint, error) {
+	return core.ParseCheckpoint(data)
+}
+
 // TraceRecorder collects stage spans from one or more solves. Attach one
 // via SolveOptions.Telemetry.Spans, then export it with its
 // WriteChromeTraceFile method (loadable in chrome://tracing or Perfetto)
