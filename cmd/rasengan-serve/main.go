@@ -12,6 +12,7 @@
 // API:
 //
 //	POST /v1/solve            submit a problem spec (optionally wait inline)
+//	POST /v1/solve/batch      submit up to -max-batch specs in one request
 //	GET  /v1/jobs             list jobs (?state=done&limit=50&offset=0)
 //	GET  /v1/jobs/{id}        poll job status / fetch the result
 //	POST /v1/jobs/{id}/cancel cancel a queued or running job
@@ -112,8 +113,12 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		debugAddr = flag.String("debug-addr", "", "optional diagnostics listener (net/http/pprof + /debug/vars); bind to localhost")
-		queueCap  = flag.Int("queue", 64, "job queue capacity (full queue answers 429)")
+		queueCap  = flag.Int("queue", 64, "job queue capacity (full queue answers 429 with a computed Retry-After)")
 		executors = flag.Int("executors", 2, "jobs solved concurrently (each fans onto the shared worker pool)")
+		maxJobs   = flag.Int("max-concurrent-jobs", 0, "alias for -executors; overrides it when > 0")
+		budget    = flag.Int("worker-budget", 0, "total compute budget leased across executing solves (0 = worker-pool width); 1 job gets all of it, N jobs ~1/N each")
+		maxBatch  = flag.Int("max-batch", 16, "largest accepted POST /v1/solve/batch item count")
+		shedMark  = flag.Float64("shed-watermark", 0, "queue fraction in (0,1) past which new work is shed with 429 before the queue is literally full; 0 disables")
 		cacheSize = flag.Int("cache", 256, "result-cache entries (negative disables caching)")
 		timeout   = flag.Duration("timeout", 60*time.Second, "default per-job deadline")
 		maxIter   = flag.Int("max-iters", 300, "cap on per-request optimizer iterations")
@@ -142,8 +147,22 @@ func main() {
 	if *queueCap < 1 {
 		fatal("-queue must be >= 1", "got", *queueCap)
 	}
+	if *maxJobs > 0 {
+		*executors = *maxJobs
+	}
 	if *executors < 1 {
 		fatal("-executors must be >= 1", "got", *executors)
+	}
+	if *budget < 0 {
+		fatal("-worker-budget must be >= 0", "got", *budget)
+	}
+	if *maxBatch < 1 {
+		fatal("-max-batch must be >= 1", "got", *maxBatch)
+	}
+	if *shedMark < 0 || *shedMark >= 1 {
+		if *shedMark != 0 {
+			fatal("-shed-watermark must be 0 (disabled) or in (0,1)", "got", *shedMark)
+		}
 	}
 	if *maxIter < 1 {
 		fatal("-max-iters must be >= 1", "got", *maxIter)
@@ -165,6 +184,9 @@ func main() {
 	srv, err := service.Open(service.Config{
 		QueueCapacity:     *queueCap,
 		Executors:         *executors,
+		WorkerBudget:      *budget,
+		MaxBatch:          *maxBatch,
+		ShedWatermark:     *shedMark,
 		CacheEntries:      *cacheSize,
 		DefaultTimeout:    *timeout,
 		MaxIter:           *maxIter,

@@ -110,6 +110,7 @@ func (e *Executor) rt() *compiledRT {
 			counts:   make([]int, n),
 			lastDist: make([]float64, n),
 		}
+		e.crt.st.SetWorkerLimit(e.workerLimit)
 	}
 	return e.crt
 }

@@ -161,6 +161,26 @@ type Executor struct {
 	spans     *obs.Recorder
 	spanTrack int32
 	spanRoot  obs.SpanID
+
+	// workerLimit caps the kernel fan-out of this clone's compiled state
+	// (0 = package default). Kept out of ExecOptions for the same reason
+	// as the telemetry sink: widths never affect results or cache keys.
+	workerLimit int
+}
+
+// SetWorkerLimit caps this executor's simulator parallelism; n <= 0
+// restores the package default width. The solver calls it per clone when
+// the solve holds a compute-budget lease, and again at every iteration
+// boundary as the lease is renegotiated. Results are bit-identical at
+// any limit.
+func (e *Executor) SetWorkerLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.workerLimit = n
+	if e.crt != nil {
+		e.crt.st.SetWorkerLimit(n)
+	}
 }
 
 // SetTelemetry points the executor's span output at rec (nil disables),

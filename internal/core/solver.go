@@ -42,6 +42,16 @@ type Options struct {
 	// Seed drives all stochastic parts (sampling, noise, SPSA).
 	Seed int64
 
+	// Workers caps this solve's parallelism: the multi-start fan-out and
+	// every simulator kernel beneath it request at most Workers.Workers()
+	// pool workers, re-read at optimizer iteration boundaries so a
+	// serving layer can renegotiate a compute-budget lease mid-solve.
+	// Nil means the package default width. Like the worker count itself,
+	// it is excluded from CanonicalOptionsJSON: parallel's determinism
+	// contract makes results bit-identical at any width, so the limiter
+	// can never affect a result or a cache key.
+	Workers parallel.Limiter
+
 	// Telemetry configures observability for this solve. It is excluded
 	// from CanonicalOptionsJSON by construction: telemetry observes the
 	// pipeline and never steers it, so two solves that differ only in
@@ -317,9 +327,36 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 	}
 	telemetryOn := rec.Enabled() || opts.Telemetry.Convergence
 	convs := make([][]IterationTelemetry, len(starts))
-	parallel.For(len(starts), func(i int) {
+
+	// Compute-budget plumbing. With no limiter the fan-out and kernels run
+	// at the package default width — bit-for-bit the pre-lease behavior.
+	// With one, the start fan-out claims at most the lease's width and each
+	// start's executor gets an even share of it, re-read at every iteration
+	// boundary (see the renegotiation hook below) so a lease resized by the
+	// budget while this solve runs takes effect within one iteration.
+	lim := opts.Workers
+	innerWidth := func() int {
+		w := parallel.LimiterWidth(lim)
+		conc := len(starts)
+		if conc > w {
+			conc = w
+		}
+		share := w / conc
+		if share < 1 {
+			share = 1
+		}
+		return share
+	}
+	fanWidth := 0 // 0 = default width
+	if lim != nil {
+		fanWidth = parallel.LimiterWidth(lim)
+	}
+	parallel.ForWorkers(fanWidth, len(starts), func(i int) {
 		ex := exec.Clone()
 		ex.SetTelemetry(rec, startTracks[i], root)
+		if lim != nil {
+			ex.SetWorkerLimit(innerWidth())
+		}
 		// The stream source emits the bit-identical stream of
 		// parallel.NewRand while exposing its state for capture, so
 		// checkpoints can record it and resumes can restore it. The plain
@@ -402,6 +439,19 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 				ck.update(i, st, src.State(), o.evals, o.quantumNS)
 			}
 		}
+		// Lease renegotiation rides the same observational hook as
+		// telemetry: at each iteration boundary the executor re-reads the
+		// limiter and resizes its kernel fan-out. The hook cannot change
+		// results — worker width is bit-identity-neutral by the parallel
+		// package's contract — so a lease growing or shrinking mid-solve
+		// only moves wall time.
+		var renegotiate func(iter int, bestF float64, bestX []float64)
+		if lim != nil {
+			renegotiate = func(int, float64, []float64) {
+				ex.SetWorkerLimit(innerWidth())
+			}
+			oopts.OnIteration = renegotiate
+		}
 		if telemetryOn {
 			// The hook observes iteration boundaries: a span from the previous
 			// boundary to now, and a convergence record of the running best.
@@ -410,6 +460,9 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 			wallStart := time.Now()
 			lastMark := rec.Now()
 			oopts.OnIteration = func(iter int, bestF float64, bestX []float64) {
+				if renegotiate != nil {
+					renegotiate(iter, bestF, bestX)
+				}
 				if rec.Enabled() {
 					now := rec.Now()
 					rec.Record(obs.StageIteration, startTracks[i], root, lastMark, now,
@@ -472,8 +525,12 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 	}
 
 	// Final evaluation at the optimizer's best parameters to produce the
-	// reported distribution and in-constraints accounting.
+	// reported distribution and in-constraints accounting. It runs alone,
+	// so it may use the lease's full current width.
 	exec.SetTelemetry(rec, mainTrack, root)
+	if lim != nil {
+		exec.SetWorkerLimit(parallel.LimiterWidth(lim))
+	}
 	finalRng := parallel.NewRand(opts.Seed+7, uint64(len(starts)))
 	sp = rec.Start(obs.StageFinalEval, mainTrack, root)
 	finalDist, err := exec.RunCtx(ctx, res.X, finalRng)
@@ -570,6 +627,22 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 		}
 	}
 	return out, nil
+}
+
+// ScheduleParamCount reports how many evolution-time parameters a solve
+// of p under opts would optimize — the length a warm-start
+// Options.InitialTimes vector must have to seed the optimizer (Solve
+// ignores vectors of any other length). It runs basis construction and
+// schedule pruning only (no executor compile, no simulation), so a
+// serving layer can validate stored warm starts before injecting them
+// into the options that form its cache key.
+func ScheduleParamCount(p *problems.Problem, opts Options) (int, error) {
+	basis, err := BuildBasis(p, opts.Basis)
+	if err != nil {
+		return 0, err
+	}
+	sched := BuildSchedule(p, basis, opts.Schedule)
+	return len(sched.Ops), nil
 }
 
 // l2norm returns the Euclidean norm of v.

@@ -1,0 +1,173 @@
+package parallel
+
+import (
+	"sync"
+)
+
+// Compute budgeting. A Budget splits a fixed worker total across the jobs
+// currently running, so N concurrent solves request ~total/N pool workers
+// each instead of N full-width fan-outs thrashing the shared pool. A job
+// holds a Lease for its lifetime and re-reads Lease.Workers() at iteration
+// boundaries: grants are renegotiated whenever a lease is acquired or
+// released (waterfilling — one job gets the whole budget, four jobs get
+// about a quarter each), and because every loop in this package is
+// bit-identical at any worker count, a lease resize mid-solve can never
+// change a result, only its wall time.
+
+// Limiter bounds the parallelism of one consumer. Workers returns the
+// current cap; implementations may change the value between calls
+// (Lease does, at renegotiation points). A nil Limiter means "package
+// default width" by convention.
+type Limiter interface {
+	Workers() int
+}
+
+// Fixed is a constant-width Limiter. Fixed(1) forces serial execution —
+// the reference configuration of the determinism contract.
+type Fixed int
+
+// Workers returns the fixed width, clamped to at least 1.
+func (f Fixed) Workers() int {
+	if f < 1 {
+		return 1
+	}
+	return int(f)
+}
+
+// Budget is a waterfilling scheduler over a fixed worker total. Acquire
+// grants a Lease; every acquire and release recomputes all grants:
+// grant_i = total/n, with the total%n leftover spread one worker each
+// across the longest-held leases. Grants never drop below 1 — a starved
+// job still makes progress serially, and a serial loop claims zero pool
+// workers, so the pool's goroutine usage stays bounded by the pool size
+// regardless of how many leases are out.
+type Budget struct {
+	mu     sync.Mutex
+	total  int
+	leases []*Lease // acquisition order; index decides who gets the +1 remainder
+}
+
+// NewBudget returns a Budget over total workers; total <= 0 means the
+// package default width (all cores unless SetWorkers narrowed it). The
+// total is a scheduling quantity, not a goroutine bound: grants wider
+// than the shared pool are clamped by the pool itself at fan-out time.
+func NewBudget(total int) *Budget {
+	if total <= 0 {
+		total = Workers()
+	}
+	return &Budget{total: total}
+}
+
+// Total returns the budget's worker total.
+func (b *Budget) Total() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}
+
+// Active returns how many leases are currently held.
+func (b *Budget) Active() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.leases)
+}
+
+// Granted returns the sum of all current grants. While Active ≤ Total
+// this equals Total exactly (waterfilling leaves nothing idle); past
+// that point the per-lease floor of 1 makes it Active.
+func (b *Budget) Granted() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	g := 0
+	for _, l := range b.leases {
+		g += l.grant
+	}
+	return g
+}
+
+// Acquire grants a lease and renegotiates every outstanding grant. It
+// never blocks: admission control (how many jobs run at once) is the
+// caller's queue's concern, not the budget's.
+func (b *Budget) Acquire() *Lease {
+	l := &Lease{b: b}
+	b.mu.Lock()
+	b.leases = append(b.leases, l)
+	b.refill()
+	b.mu.Unlock()
+	return l
+}
+
+// refill recomputes every grant under the waterfilling rule. Caller
+// holds b.mu.
+func (b *Budget) refill() {
+	n := len(b.leases)
+	if n == 0 {
+		return
+	}
+	base := b.total / n
+	extra := b.total % n
+	if base < 1 {
+		base, extra = 1, 0
+	}
+	for i, l := range b.leases {
+		g := base
+		if i < extra {
+			g++
+		}
+		l.grant = g
+	}
+}
+
+// Lease is one job's share of a Budget. Workers may change between calls
+// as other leases come and go; callers re-read it at natural boundaries
+// (the solver does so per optimizer iteration).
+type Lease struct {
+	b        *Budget
+	grant    int // guarded by b.mu
+	released bool
+}
+
+// Workers returns the lease's current grant (≥ 1). After Release it
+// returns 1, so a stale reference degrades to serial rather than
+// over-claiming.
+func (l *Lease) Workers() int {
+	l.b.mu.Lock()
+	defer l.b.mu.Unlock()
+	if l.released || l.grant < 1 {
+		return 1
+	}
+	return l.grant
+}
+
+// Release returns the lease's share to the budget and renegotiates the
+// remaining grants. Idempotent.
+func (l *Lease) Release() {
+	l.b.mu.Lock()
+	defer l.b.mu.Unlock()
+	if l.released {
+		return
+	}
+	l.released = true
+	l.grant = 0
+	for i, x := range l.b.leases {
+		if x == l {
+			l.b.leases = append(l.b.leases[:i], l.b.leases[i+1:]...)
+			break
+		}
+	}
+	l.b.refill()
+}
+
+// LimiterWidth resolves a Limiter to an explicit worker count: nil means
+// the package default, anything else is the limiter's current value
+// clamped to ≥ 1.
+func LimiterWidth(l Limiter) int {
+	if l == nil {
+		return Workers()
+	}
+	w := l.Workers()
+	if w < 1 {
+		return 1
+	}
+	return w
+}

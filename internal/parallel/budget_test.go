@@ -1,0 +1,167 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBudgetSingleLeaseGetsEverything(t *testing.T) {
+	b := NewBudget(8)
+	l := b.Acquire()
+	defer l.Release()
+	if got, want := l.Workers(), b.Total(); got != want {
+		t.Fatalf("sole lease granted %d workers, want the whole budget %d", got, want)
+	}
+}
+
+func TestBudgetWaterfillingSplitsFairly(t *testing.T) {
+	b := NewBudget(8)
+	total := b.Total()
+	var leases []*Lease
+	for i := 0; i < 4; i++ {
+		leases = append(leases, b.Acquire())
+	}
+	sum := 0
+	base := total / 4
+	for i, l := range leases {
+		w := l.Workers()
+		sum += w
+		if w < 1 {
+			t.Fatalf("lease %d granted %d workers; every lease must get at least 1", i, w)
+		}
+		if w != base && w != base+1 {
+			t.Errorf("lease %d granted %d workers, want %d or %d (waterfilling)", i, w, base, base+1)
+		}
+	}
+	if total >= 4 && sum != total {
+		t.Errorf("grants sum to %d, want the full budget %d while active ≤ total", sum, total)
+	}
+	// Releasing one lease redistributes its share to the survivors.
+	leases[0].Release()
+	sum = 0
+	for _, l := range leases[1:] {
+		sum += l.Workers()
+	}
+	if total >= 3 && sum != total {
+		t.Errorf("after release grants sum to %d, want %d", sum, total)
+	}
+}
+
+func TestBudgetGrantFloorUnderOversubscription(t *testing.T) {
+	b := NewBudget(2)
+	total := b.Total()
+	var leases []*Lease
+	for i := 0; i < 8; i++ {
+		leases = append(leases, b.Acquire())
+	}
+	for i, l := range leases {
+		if got := l.Workers(); got != 1 {
+			t.Errorf("lease %d granted %d workers with %d leases over budget %d, want the floor 1",
+				i, got, len(leases), total)
+		}
+	}
+	// Draining back down to ≤ total restores full utilization.
+	for _, l := range leases[:6] {
+		l.Release()
+	}
+	sum := 0
+	for _, l := range leases[6:] {
+		sum += l.Workers()
+	}
+	if sum != total {
+		t.Errorf("after drain grants sum to %d, want %d", sum, total)
+	}
+}
+
+func TestBudgetGrantedInvariant(t *testing.T) {
+	b := NewBudget(4)
+	total := b.Total()
+	var held []*Lease
+	for i := 0; i < 12; i++ {
+		held = append(held, b.Acquire())
+		granted := b.Granted()
+		if active := b.Active(); active <= total {
+			if granted != total {
+				t.Errorf("active=%d: granted=%d, want %d (nothing idle while active ≤ total)", active, granted, total)
+			}
+		} else if granted != active {
+			t.Errorf("active=%d: granted=%d, want %d (floor of 1 each past saturation)", active, granted, active)
+		}
+	}
+	for _, l := range held {
+		l.Release()
+	}
+	if got := b.Granted(); got != 0 {
+		t.Errorf("granted=%d after releasing everything, want 0", got)
+	}
+}
+
+func TestLeaseReleaseIdempotentAndStaleReadsSerial(t *testing.T) {
+	b := NewBudget(4)
+	l := b.Acquire()
+	l.Release()
+	l.Release() // must not corrupt the lease list
+	if got := l.Workers(); got != 1 {
+		t.Errorf("released lease reports %d workers, want 1 (degrade to serial)", got)
+	}
+	if got := b.Active(); got != 0 {
+		t.Errorf("active=%d after double release, want 0", got)
+	}
+}
+
+func TestBudgetConcurrentChurn(t *testing.T) {
+	b := NewBudget(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l := b.Acquire()
+				if w := l.Workers(); w < 1 {
+					t.Errorf("grant %d < 1 under churn", w)
+				}
+				l.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.Active(); got != 0 {
+		t.Errorf("active=%d after churn, want 0", got)
+	}
+	if got := b.Granted(); got != 0 {
+		t.Errorf("granted=%d after churn, want 0", got)
+	}
+}
+
+func TestFixedLimiter(t *testing.T) {
+	if got := Fixed(3).Workers(); got != 3 {
+		t.Errorf("Fixed(3).Workers() = %d, want 3", got)
+	}
+	if got := Fixed(0).Workers(); got != 1 {
+		t.Errorf("Fixed(0).Workers() = %d, want 1 (clamped)", got)
+	}
+	if got := LimiterWidth(nil); got != Workers() {
+		t.Errorf("LimiterWidth(nil) = %d, want package default %d", got, Workers())
+	}
+	if got := LimiterWidth(Fixed(2)); got != 2 {
+		t.Errorf("LimiterWidth(Fixed(2)) = %d, want 2", got)
+	}
+}
+
+func TestSumChunksWorkersBitIdentical(t *testing.T) {
+	const n = 10000
+	fn := func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += 1.0 / float64(i+1)
+		}
+		return s
+	}
+	serial := SumChunksWorkers(1, n, 128, fn)
+	for _, w := range []int{2, 3, 8} {
+		if got := SumChunksWorkers(w, n, 128, fn); got != serial {
+			t.Errorf("SumChunksWorkers(%d) = %v, want bit-identical to serial %v", w, got, serial)
+		}
+	}
+}

@@ -221,7 +221,14 @@ func ForWorkers(workers, n int, fn func(i int)) {
 // chunkSize — never on the worker count — so per-chunk work is stable
 // across configurations.
 func ForChunks(total, chunkSize int, fn func(lo, hi int)) {
-	_ = forChunksCtx(nil, total, chunkSize, fn)
+	_ = forChunksCtx(nil, 0, total, chunkSize, fn)
+}
+
+// ForChunksWorkers is ForChunks with an explicit worker cap (0 or less
+// means the default count). Chunk boundaries — and therefore results —
+// are identical at any cap; only the wall time changes.
+func ForChunksWorkers(workers, total, chunkSize int, fn func(lo, hi int)) {
+	_ = forChunksCtx(nil, workers, total, chunkSize, fn)
 }
 
 // ForChunksCtx is ForChunks with cooperative cancellation at chunk
@@ -229,10 +236,10 @@ func ForChunks(total, chunkSize int, fn func(lo, hi int)) {
 // context's error is returned. Callers must treat partially processed
 // data as invalid once an error comes back.
 func ForChunksCtx(ctx context.Context, total, chunkSize int, fn func(lo, hi int)) error {
-	return forChunksCtx(ctx, total, chunkSize, fn)
+	return forChunksCtx(ctx, 0, total, chunkSize, fn)
 }
 
-func forChunksCtx(ctx context.Context, total, chunkSize int, fn func(lo, hi int)) error {
+func forChunksCtx(ctx context.Context, workers, total, chunkSize int, fn func(lo, hi int)) error {
 	if total <= 0 {
 		return nil
 	}
@@ -247,7 +254,10 @@ func forChunksCtx(ctx context.Context, total, chunkSize int, fn func(lo, hi int)
 		fn(0, total)
 		return nil
 	}
-	return defaultPool.forWorkers(ctx, Workers(), n, func(i int) {
+	if workers <= 0 {
+		workers = Workers()
+	}
+	return defaultPool.forWorkers(ctx, workers, n, func(i int) {
 		lo := i * chunkSize
 		hi := lo + chunkSize
 		if hi > total {
@@ -262,6 +272,13 @@ func forChunksCtx(ctx context.Context, total, chunkSize int, fn func(lo, hi int)
 // result is bit-identical for any worker count (unlike a naive concurrent
 // float accumulation).
 func SumChunks(total, chunkSize int, fn func(lo, hi int) float64) float64 {
+	return SumChunksWorkers(0, total, chunkSize, fn)
+}
+
+// SumChunksWorkers is SumChunks with an explicit worker cap (0 or less
+// means the default count). The chunk-order combine makes the sum
+// bit-identical at any cap.
+func SumChunksWorkers(workers, total, chunkSize int, fn func(lo, hi int) float64) float64 {
 	if total <= 0 {
 		return 0
 	}
@@ -273,7 +290,7 @@ func SumChunks(total, chunkSize int, fn func(lo, hi int) float64) float64 {
 		return fn(0, total)
 	}
 	partial := make([]float64, n)
-	For(n, func(i int) {
+	ForWorkers(workers, n, func(i int) {
 		lo := i * chunkSize
 		hi := lo + chunkSize
 		if hi > total {

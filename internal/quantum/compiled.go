@@ -251,6 +251,30 @@ type CompiledState struct {
 	chunkActs [][]int32
 	cdf       []float64
 	draws     []float64
+
+	// workers caps the sharded kernel's fan-out for this state; 0 means
+	// the package default width. Set through SetWorkerLimit by callers
+	// holding a compute-budget lease; any value yields bit-identical
+	// amplitudes (chunk boundaries ignore the worker count).
+	workers int
+}
+
+// SetWorkerLimit caps this state's transition-kernel parallelism; n <= 0
+// restores the package default. Safe to change between ApplyTransition
+// calls — the limit is a pure performance knob.
+func (s *CompiledState) SetWorkerLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.workers = n
+}
+
+// workerLimit resolves the state's effective fan-out width.
+func (s *CompiledState) workerLimit() int {
+	if s.workers > 0 {
+		return s.workers
+	}
+	return parallel.Workers()
 }
 
 // Space returns the compiled closure the state lives on.
@@ -317,7 +341,7 @@ func (s *CompiledState) ApplyTransition(op int, t float64) {
 	ct := complex(math.Cos(t), 0)
 	st := complex(0, math.Sin(t))
 	snapshot := len(s.active)
-	if snapshot >= compiledShardMin && parallel.Workers() > 1 {
+	if snapshot >= compiledShardMin && s.workerLimit() > 1 {
 		s.applySharded(row, ct, st, snapshot)
 	} else {
 		s.applySerial(row, ct, st, snapshot)
@@ -375,7 +399,7 @@ func (s *CompiledState) applySharded(row []int32, ct, st complex128, snapshot in
 	}
 	amps, stamp, epoch := s.amps, s.stamp, s.epoch
 	snap := s.active[:snapshot]
-	parallel.ForChunks(snapshot, compiledChunk, func(lo, hi int) {
+	parallel.ForChunksWorkers(s.workerLimit(), snapshot, compiledChunk, func(lo, hi int) {
 		buf := s.chunkActs[lo/compiledChunk][:0]
 		for k := lo; k < hi; k++ {
 			i := snap[k]

@@ -1,0 +1,68 @@
+package service
+
+import (
+	"math"
+	"sync"
+)
+
+// admissionEstimator derives Retry-After hints from observed service
+// times. It keeps an EWMA of per-job executor occupancy; a rejected
+// client is told to come back once the current backlog has plausibly
+// drained: ewma × (queued+1) / executors, clamped to [1, 60] seconds.
+// Before any job has completed the estimate defaults to one second —
+// the old hardcoded hint — so cold starts behave like the previous
+// design and warm servers report their real drain rate.
+type admissionEstimator struct {
+	mu      sync.Mutex
+	ewmaSec float64
+	seeded  bool
+}
+
+// admissionAlpha is the EWMA smoothing factor: ~last 10 jobs dominate.
+const admissionAlpha = 0.2
+
+// observe records one job's executor occupancy in seconds.
+func (a *admissionEstimator) observe(sec float64) {
+	if sec < 0 || math.IsNaN(sec) || math.IsInf(sec, 0) {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.seeded {
+		a.ewmaSec = sec
+		a.seeded = true
+		return
+	}
+	a.ewmaSec = admissionAlpha*sec + (1-admissionAlpha)*a.ewmaSec
+}
+
+// estimate returns the smoothed per-job service time in seconds.
+func (a *admissionEstimator) estimate() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.seeded {
+		return 1
+	}
+	return a.ewmaSec
+}
+
+// retryAfter computes the whole-second Retry-After hint for a client
+// rejected while `queued` jobs occupy the queue and `executors` workers
+// drain it.
+func (a *admissionEstimator) retryAfter(queued, executors int) int {
+	if executors < 1 {
+		executors = 1
+	}
+	if queued < 0 {
+		queued = 0
+	}
+	sec := a.estimate() * float64(queued+1) / float64(executors)
+	hint := int(math.Ceil(sec))
+	if hint < 1 {
+		hint = 1
+	}
+	if hint > 60 {
+		hint = 60
+	}
+	return hint
+}

@@ -25,7 +25,12 @@ const (
 // job is one accepted solve. Its result bytes are the deterministic
 // payload of result.go; the same key always yields the same bytes.
 type job struct {
-	id  string
+	id string
+	// seq is the monotone submit sequence the id was minted from (parsed
+	// back out of the id on journal replay). Listings sort on it: the id
+	// string is zero-padded to 8 digits, so lexicographic order silently
+	// diverges from submission order past job-99999999.
+	seq uint64
 	key string // spec hash + config fingerprint (cache key)
 
 	// family/scale identify the generator bucket for warm-start
@@ -155,6 +160,7 @@ func (s *jobStore) create(base context.Context, key string, p *problems.Problem,
 	ctx, cancel := context.WithTimeout(base, deadline)
 	j = &job{
 		id:       fmt.Sprintf("job-%08d", s.seq),
+		seq:      s.seq,
 		key:      key,
 		problem:  p,
 		opts:     opts,
@@ -179,6 +185,7 @@ func (s *jobStore) createDone(result []byte, cached bool) *job {
 	cancel()
 	j := &job{
 		id:      fmt.Sprintf("job-%08d", s.seq),
+		seq:     s.seq,
 		ctx:     ctx,
 		cancel:  cancel,
 		status:  StatusDone,
@@ -229,11 +236,31 @@ func (s *jobStore) get(id string) (*job, bool) {
 	return j, ok
 }
 
+// lookupInflight returns the queued/running job carrying key, if any.
+// The HTTP layer consults it before reserving a queue slot so coalesced
+// duplicates never contend for capacity.
+func (s *jobStore) lookupInflight(key string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.inflight[key]
+	return j, ok
+}
+
+// seqFromID recovers the submit sequence embedded in a job id; 0 for
+// foreign ids (which then sort first, by id, among themselves).
+func seqFromID(id string) uint64 {
+	var n uint64
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
 // bumpSeq advances the id sequence past a recovered job id, so jobs
 // accepted after a restart never collide with journaled ones.
 func (s *jobStore) bumpSeq(id string) {
-	var n uint64
-	if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil {
+	n := seqFromID(id)
+	if n == 0 {
 		return
 	}
 	s.mu.Lock()
@@ -252,6 +279,7 @@ func (s *jobStore) restoreTerminal(id string, status Status, result []byte, errM
 	cancel()
 	j := &job{
 		id:      id,
+		seq:     seqFromID(id),
 		ctx:     ctx,
 		cancel:  cancel,
 		status:  status,
@@ -274,6 +302,7 @@ func (s *jobStore) restoreActive(base context.Context, id, key string, p *proble
 	ctx, cancel := context.WithTimeout(base, deadline)
 	j := &job{
 		id:       id,
+		seq:      seqFromID(id),
 		key:      key,
 		problem:  p,
 		opts:     opts,
@@ -288,9 +317,11 @@ func (s *jobStore) restoreActive(base context.Context, id, key string, p *proble
 	return j
 }
 
-// list returns job summaries in id order, optionally filtered by
-// status, with offset/limit pagination. total is the filtered count
-// before pagination.
+// list returns job summaries in submission order, optionally filtered
+// by status, with offset/limit pagination. total is the filtered count
+// before pagination. Sorting on the numeric submit sequence (not the id
+// string, and certainly not map iteration order) keeps page contents
+// stable across journal replay and restarts.
 func (s *jobStore) list(status Status, offset, limit int) (views []jobView, total int) {
 	s.mu.Lock()
 	jobs := make([]*job, 0, len(s.byID))
@@ -298,7 +329,12 @@ func (s *jobStore) list(status Status, offset, limit int) (views []jobView, tota
 		jobs = append(jobs, j)
 	}
 	s.mu.Unlock()
-	sort.Slice(jobs, func(i, k int) bool { return jobs[i].id < jobs[k].id })
+	sort.Slice(jobs, func(i, k int) bool {
+		if jobs[i].seq != jobs[k].seq {
+			return jobs[i].seq < jobs[k].seq
+		}
+		return jobs[i].id < jobs[k].id
+	})
 	views = []jobView{}
 	for _, j := range jobs {
 		v := j.snapshot()

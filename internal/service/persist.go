@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"rasengan/internal/core"
 	"rasengan/internal/problems"
 	"rasengan/internal/store"
 )
@@ -202,6 +203,50 @@ func (s *Server) journalAccept(j *job, spec json.RawMessage, cfg solveConfig, ti
 	}
 }
 
+// acceptedJob bundles one batch item's job with the request fields its
+// journal payload needs.
+type acceptedJob struct {
+	j            *job
+	spec         json.RawMessage
+	cfg          solveConfig
+	timeoutMS    int
+	initialTimes []float64
+	problem      string
+}
+
+// journalAcceptBatch records a group of accepted jobs with one WAL
+// group-commit: the batch endpoint's accepted items share a single fsync
+// instead of paying one each (see store.Journal.SubmitBatch).
+func (s *Server) journalAcceptBatch(batch []acceptedJob) {
+	if s.persist == nil || len(batch) == 0 {
+		return
+	}
+	ids := make([]string, len(batch))
+	payloads := make([][]byte, len(batch))
+	for i, a := range batch {
+		pl := jobPayload{
+			Spec:         a.spec,
+			Config:       a.cfg,
+			Key:          a.j.key,
+			TimeoutMS:    a.timeoutMS,
+			InitialTimes: a.initialTimes,
+			Problem:      a.problem,
+			Family:       a.j.family,
+			Scale:        a.j.scale,
+		}
+		data, err := json.Marshal(pl)
+		if err != nil {
+			s.log.Warn("journal batch submit failed", "job_id", a.j.id, "error", err.Error())
+			return
+		}
+		ids[i] = a.j.id
+		payloads[i] = data
+	}
+	if err := s.persist.journal.SubmitBatch(ids, payloads); err != nil {
+		s.log.Warn("journal batch submit failed", "error", err.Error())
+	}
+}
+
 // journalState records a lifecycle transition.
 func (s *Server) journalState(j *job, state Status, errMsg string) {
 	if s.persist == nil {
@@ -241,22 +286,68 @@ func warmKeyFamily(family string, scale int) string {
 // Options.InitialTimes BEFORE the cache key is computed: the key
 // reflects the options actually solved, which keeps the cache-replay
 // byte-identity contract intact.
-func (s *Server) lookupWarmStart(spec *problems.Spec, specHash string) []float64 {
+//
+// Every candidate is dimension-checked against the request's own
+// schedule before injection. Family buckets hold times from whichever
+// instance of the family last converged, and different scales (or
+// different schedule options) can produce different parameter counts —
+// injecting a wrong-length vector would not mis-seed the solve
+// (core.Solve ignores mismatched InitialTimes) but would silently fork
+// the cache key, so identical requests stop coalescing. A mismatch
+// counts rasengan_warmstart_dim_mismatch_total and falls through to the
+// next source.
+func (s *Server) lookupWarmStart(spec *problems.Spec, specHash string, p *problems.Problem, opts core.Options) []float64 {
 	if s.persist == nil {
 		return nil
 	}
 	if times, ok := s.persist.warm.Get("spec:" + specHash); ok {
-		s.warmHitsExact.Inc()
-		return times
+		if s.warmDimOK(specHash, p, opts, times) {
+			s.warmHitsExact.Inc()
+			return times
+		}
 	}
 	if spec.Family != "" {
 		if times, ok := s.persist.warm.Get(warmKeyFamily(spec.Family, spec.Scale)); ok {
-			s.warmHitsFamily.Inc()
-			return times
+			if s.warmDimOK(specHash, p, opts, times) {
+				s.warmHitsFamily.Inc()
+				return times
+			}
 		}
 	}
 	s.warmMisses.Inc()
 	return nil
+}
+
+// warmDimKey keys the schedule-parameter-count memo. The spec hash pins
+// the problem; of the solver knobs the API exposes, only the schedule
+// options change the parameter count.
+func warmDimKey(specHash string, opts core.Options) string {
+	return specHash + "|sparsest=" + strconv.FormatBool(opts.Schedule.SparsestFirst)
+}
+
+// warmDimOK reports whether a stored warm-start vector matches the
+// parameter count of the schedule this request will actually solve.
+func (s *Server) warmDimOK(specHash string, p *problems.Problem, opts core.Options, times []float64) bool {
+	key := warmDimKey(specHash, opts)
+	var want int
+	if v, ok := s.warmDims.Load(key); ok {
+		want = v.(int)
+	} else {
+		n, err := core.ScheduleParamCount(p, opts)
+		if err != nil {
+			// The solve itself would fail the same way; don't warm-start it.
+			return false
+		}
+		s.warmDims.Store(key, n)
+		want = n
+	}
+	if len(times) != want {
+		s.warmDimSkips.Inc()
+		s.log.Warn("warm start skipped: dimension mismatch",
+			"spec_hash", specHash, "stored", len(times), "want", want)
+		return false
+	}
+	return true
 }
 
 // recordWarm stores a successful solve's converged evolution times
@@ -269,6 +360,9 @@ func (s *Server) recordWarm(j *job, times []float64) {
 	if !ok {
 		return
 	}
+	// Prime the dimension memo: a solve that just produced len(times)
+	// parameters pins the schedule's parameter count for this spec.
+	s.warmDims.Store(warmDimKey(specHash, j.opts), len(times))
 	if err := s.persist.warm.Put("spec:"+specHash, times); err != nil {
 		s.log.Warn("warm store write failed", "job_id", j.id, "error", err.Error())
 		return

@@ -27,6 +27,12 @@ type jobQueue struct {
 	settled chan struct{}  // non-nil once draining; closed when all jobs settle
 	pending sync.WaitGroup // accepted but not yet terminal
 	workers sync.WaitGroup
+	// reserved counts slots promised by Reserve but not yet turned into a
+	// queued job by Commit (or returned by CancelReservation). Reserving
+	// before creating the job lets the HTTP layer reject synchronously —
+	// with no journal write and no job id burned — while still
+	// guaranteeing Commit a slot.
+	reserved int
 }
 
 // newJobQueue starts `executors` worker goroutines consuming a queue of
@@ -74,8 +80,70 @@ func (q *jobQueue) Submit(j *job) error {
 	}
 }
 
+// Reserve claims a queue slot without enqueueing anything. It fails fast
+// with ErrQueueFull or ErrDraining — the two synchronous rejections —
+// so the caller can answer 429/503 before journaling or creating a job.
+// A successful Reserve must be followed by exactly one Commit or
+// CancelReservation.
+func (q *jobQueue) Reserve() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.settled != nil {
+		return ErrDraining
+	}
+	if len(q.ch)+q.reserved >= cap(q.ch) {
+		return ErrQueueFull
+	}
+	q.reserved++
+	return nil
+}
+
+// CancelReservation returns a Reserved slot unused (e.g. the request
+// coalesced onto an in-flight job after the slot was claimed).
+func (q *jobQueue) CancelReservation() {
+	q.mu.Lock()
+	if q.reserved > 0 {
+		q.reserved--
+	}
+	q.mu.Unlock()
+}
+
+// Commit enqueues a job under a previously Reserved slot. It can only
+// fail with ErrDraining (shutdown began between Reserve and Commit): the
+// reservation guarantees channel capacity.
+func (q *jobQueue) Commit(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.reserved > 0 {
+		q.reserved--
+	}
+	if q.settled != nil {
+		return ErrDraining
+	}
+	// Reserve the pending slot before the send so Drain cannot observe a
+	// moment where the job is in the channel but untracked.
+	q.pending.Add(1)
+	select {
+	case q.ch <- j:
+		return nil
+	default:
+		// Unreachable while every enqueue goes through Reserve; kept as a
+		// defensive backstop rather than a blocking send.
+		q.pending.Done()
+		return ErrQueueFull
+	}
+}
+
 // Depth returns how many accepted jobs are waiting for an executor.
 func (q *jobQueue) Depth() int { return len(q.ch) }
+
+// Load returns occupied plus reserved slots — the admission-control view
+// of queue pressure.
+func (q *jobQueue) Load() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.ch) + q.reserved
+}
 
 // Capacity returns the queue's slot count.
 func (q *jobQueue) Capacity() int { return cap(q.ch) }

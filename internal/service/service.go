@@ -10,12 +10,14 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"rasengan/internal/core"
 	"rasengan/internal/device"
 	"rasengan/internal/metrics"
 	"rasengan/internal/obs"
+	"rasengan/internal/parallel"
 	"rasengan/internal/problems"
 )
 
@@ -32,6 +34,21 @@ type Config struct {
 	// executing solve additionally fans its inner loops across the shared
 	// internal/parallel pool, so this bounds jobs, not cores.
 	Executors int
+	// WorkerBudget is the total compute budget leased out across
+	// concurrently executing solves (default: the parallel package's
+	// worker count). Each executing job holds a lease; the waterfilling
+	// scheduler grants 1 job the whole budget and N jobs ~budget/N each,
+	// renegotiated at optimizer-iteration boundaries. Lease width never
+	// changes results — the parallel primitives are bit-identical at any
+	// width — it only stops N jobs from oversubscribing the cores N-fold.
+	WorkerBudget int
+	// MaxBatch caps the item count of POST /v1/solve/batch (default 16).
+	MaxBatch int
+	// ShedWatermark, in (0,1), starts shedding new work once queued plus
+	// reserved slots reach that fraction of QueueCapacity, keeping
+	// headroom for retries and coalesced bursts. 0 (or ≥1) disables
+	// shedding: only a literally full queue rejects.
+	ShedWatermark float64
 	// CacheEntries bounds the result cache (default 256); 0 keeps the
 	// default, negative disables caching.
 	CacheEntries int
@@ -101,6 +118,12 @@ func (c Config) withDefaults() Config {
 	if c.JobRetention == 0 {
 		c.JobRetention = 1024
 	}
+	if c.WorkerBudget == 0 {
+		c.WorkerBudget = parallel.Workers()
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 16
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -120,6 +143,16 @@ type Server struct {
 	queue   *jobQueue
 	persist *persistence // nil without Config.DataDir
 
+	// budget leases compute to executing jobs (see Config.WorkerBudget);
+	// admission turns observed service times into Retry-After hints.
+	budget    *parallel.Budget
+	admission admissionEstimator
+
+	// warmDims memoizes the schedule parameter count per (spec hash,
+	// schedule-shaping options) so warm-start dimension validation does
+	// not rebuild the basis and schedule on every lookup.
+	warmDims sync.Map // string → int
+
 	problemsJSON []byte // precomputed GET /v1/problems body
 
 	log *slog.Logger
@@ -135,6 +168,9 @@ type Server struct {
 	jobsCoalesced  metrics.Counter
 	rejectedFull   metrics.Counter
 	rejectedDrain  metrics.Counter
+	jobsShed       metrics.Counter
+	batchRequests  metrics.Counter
+	warmDimSkips   metrics.Counter
 	solverPanics   metrics.Counter
 	jobsRecovered  metrics.Counter
 	warmHitsExact  metrics.Counter
@@ -167,6 +203,7 @@ func Open(cfg Config) (*Server, error) {
 		jobs:  newJobStore(cfg.JobRetention),
 	}
 	s.queue = newJobQueue(cfg.QueueCapacity, cfg.Executors, s.runJob)
+	s.budget = parallel.NewBudget(cfg.WorkerBudget)
 	s.problemsJSON = buildProblemsListing()
 	s.log = cfg.Logger
 
@@ -187,6 +224,9 @@ func Open(cfg Config) (*Server, error) {
 	s.warmMisses = r.Counter("rasengan_warmstart_misses_total", "Warm-start lookups that found no stored parameters.")
 	s.rejectedFull = r.Counter("rasengan_jobs_rejected_queue_full_total", "Submissions rejected with 429 (queue full).")
 	s.rejectedDrain = r.Counter("rasengan_jobs_rejected_draining_total", "Submissions rejected with 503 (draining).")
+	s.jobsShed = r.Counter("rasengan_jobs_shed_total", "Submissions rejected with 429 at the shed watermark (queue not yet full).")
+	s.batchRequests = r.Counter("rasengan_batch_requests_total", "POST /v1/solve/batch requests accepted for processing.")
+	s.warmDimSkips = r.Counter("rasengan_warmstart_dim_mismatch_total", "Warm-start vectors skipped because their dimension did not match the request's schedule.")
 	s.inflight = r.Gauge("rasengan_jobs_inflight", "Jobs queued or running.")
 	s.solvesRunning = r.Gauge("rasengan_solves_running", "Solves currently executing (excludes queued jobs).")
 	r.GaugeFunc("rasengan_queue_depth", "Accepted jobs waiting for an executor.", func() float64 {
@@ -210,6 +250,15 @@ func Open(cfg Config) (*Server, error) {
 	})
 	r.GaugeFunc("rasengan_job_retention_capacity", "Terminal-job retention ring capacity.", func() float64 {
 		return float64(cfg.JobRetention)
+	})
+	r.GaugeFunc("rasengan_worker_budget_total", "Total compute budget leased across executing solves.", func() float64 {
+		return float64(s.budget.Total())
+	})
+	r.GaugeFunc("rasengan_worker_leases_active", "Solves currently holding a worker lease.", func() float64 {
+		return float64(s.budget.Active())
+	})
+	r.GaugeFunc("rasengan_worker_budget_granted", "Sum of lease grants outstanding (= budget while leases ≤ budget).", func() float64 {
+		return float64(s.budget.Granted())
 	})
 	r.GaugeFunc("rasengan_warmstart_hit_ratio", "Fraction of warm-start lookups served from the store.", func() float64 {
 		hits := s.warmHitsExact.Value() + s.warmHitsFamily.Value()
@@ -258,6 +307,7 @@ func (s *Server) Drain(ctx context.Context) error { return s.queue.Drain(ctx) }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.instrument("solve", s.handleSolve))
+	mux.HandleFunc("POST /v1/solve/batch", s.instrument("solve_batch", s.handleSolveBatch))
 	mux.HandleFunc("GET /v1/jobs", s.instrument("jobs", s.handleJobs))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("job", s.handleJob))
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.instrument("cancel", s.handleCancel))
@@ -383,6 +433,166 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 
 const maxBodyBytes = 1 << 20
 
+// preparedSolve is a parsed, validated, keyed solve request, ready for
+// admission. Both the single and batch endpoints produce one per item.
+type preparedSolve struct {
+	rawSpec   json.RawMessage
+	cfg       solveConfig
+	timeoutMS int
+	spec      *problems.Spec
+	specHash  string
+	problem   *problems.Problem
+	opts      core.Options
+	key       string
+	deadline  time.Duration
+}
+
+// prepareSolve validates a request through to its cache key: parse the
+// spec, resolve options, build the problem, inject (dimension-checked)
+// warm starts, fingerprint. On error the int is the HTTP status.
+func (s *Server) prepareSolve(req solveRequest) (*preparedSolve, int, error) {
+	if len(req.Spec) == 0 {
+		return nil, http.StatusBadRequest, errors.New("missing \"spec\"")
+	}
+	spec, err := problems.ParseSpec(req.Spec)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	specHash, err := spec.Hash()
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	opts, err := s.buildOptions(req.Config)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, fmt.Errorf("invalid config: %w", err)
+	}
+	p, err := spec.Build()
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	if p.N > s.cfg.MaxVars {
+		return nil, http.StatusUnprocessableEntity,
+			fmt.Errorf("problem has %d variables; this server accepts at most %d", p.N, s.cfg.MaxVars)
+	}
+	if req.Config.WarmStart {
+		// Inject before the key is computed: the fingerprint must cover
+		// the initial times actually used (see lookupWarmStart).
+		opts.InitialTimes = s.lookupWarmStart(spec, specHash, p, opts)
+	}
+	deadline := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		deadline = time.Duration(req.TimeoutMS) * time.Millisecond
+		if deadline > s.cfg.MaxTimeout {
+			deadline = s.cfg.MaxTimeout
+		}
+	}
+	return &preparedSolve{
+		rawSpec:   req.Spec,
+		cfg:       req.Config,
+		timeoutMS: req.TimeoutMS,
+		spec:      spec,
+		specHash:  specHash,
+		problem:   p,
+		opts:      opts,
+		key:       specHash + "/" + core.OptionsFingerprint(opts),
+		deadline:  deadline,
+	}, 0, nil
+}
+
+// errShedding marks a request rejected at the shed watermark — the queue
+// had slots, but admission control chose to keep them as headroom.
+var errShedding = errors.New("service: shedding load")
+
+// shedding reports whether the watermark admission check should reject
+// new work right now.
+func (s *Server) shedding() bool {
+	wm := s.cfg.ShedWatermark
+	if wm <= 0 || wm >= 1 {
+		return false
+	}
+	limit := int(wm * float64(s.queue.Capacity()))
+	if limit < 1 {
+		limit = 1
+	}
+	return s.queue.Load() >= limit
+}
+
+// reserveAndCreate runs the admission sequence up to (but not including)
+// the journal write: coalesce onto in-flight work, shed check, slot
+// reservation, job creation. When created is true the caller owns a
+// reserved queue slot and must journal the acceptance and then Commit
+// the job (or cancel the reservation).
+func (s *Server) reserveAndCreate(ps *preparedSolve) (j *job, created bool, err error) {
+	// Coalescing needs no slot: the duplicate rides the original's.
+	if existing, ok := s.jobs.lookupInflight(ps.key); ok {
+		s.jobsCoalesced.Inc()
+		return existing, false, nil
+	}
+	if s.shedding() {
+		s.jobsShed.Inc()
+		return nil, false, errShedding
+	}
+	// Reserve before create: a synchronous rejection (429/503) must leave
+	// no trace — no job id, no journal records, nothing to cancel.
+	if err := s.queue.Reserve(); err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			s.rejectedFull.Inc()
+		case errors.Is(err, ErrDraining):
+			s.rejectedDrain.Inc()
+		}
+		return nil, false, err
+	}
+	j, joined := s.jobs.create(context.Background(), ps.key, ps.problem, ps.opts, ps.deadline)
+	if joined {
+		// An identical request created the job between lookup and create.
+		s.queue.CancelReservation()
+		s.jobsCoalesced.Inc()
+		return j, false, nil
+	}
+	j.family, j.scale = ps.spec.Family, ps.spec.Scale
+	return j, true, nil
+}
+
+// commitJob enqueues a job whose acceptance has been journaled. The only
+// failure is a drain racing in after Reserve; the journaled accept then
+// gets a matching cancel record so replay never resurrects the job.
+func (s *Server) commitJob(j *job) error {
+	if err := s.queue.Commit(j); err != nil {
+		s.rejectedDrain.Inc()
+		s.journalState(j, StatusCanceled, "not enqueued")
+		j.finish(StatusCanceled, nil, "not enqueued")
+		s.jobs.settle(j)
+		return err
+	}
+	s.jobsSubmitted.Inc()
+	s.inflight.Add(1)
+	s.log.Info("job accepted", "job_id", j.id, "spec_hash", j.key, "problem", j.problem.Name,
+		"queue_depth", s.queue.Depth())
+	return nil
+}
+
+// writeReject answers a rejected submission. Every backpressure response
+// carries a Retry-After computed from queue depth and the observed drain
+// rate — including the 503 drain path, where it hints at restart time.
+func (s *Server) writeReject(w http.ResponseWriter, err error) {
+	retry := strconv.Itoa(s.admission.retryAfter(s.queue.Load(), s.cfg.Executors))
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", retry)
+		writeError(w, http.StatusTooManyRequests, "queue full (%d slots); retry later", s.queue.Capacity())
+	case errors.Is(err, errShedding):
+		w.Header().Set("Retry-After", retry)
+		writeError(w, http.StatusTooManyRequests,
+			"shedding load (queue at %d of %d slots); retry later", s.queue.Load(), s.queue.Capacity())
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", retry)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(body)
@@ -392,34 +602,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
 		return
 	}
-	if len(req.Spec) == 0 {
-		writeError(w, http.StatusBadRequest, "missing \"spec\"")
-		return
-	}
-	spec, err := problems.ParseSpec(req.Spec)
+	ps, code, err := s.prepareSolve(req)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeError(w, code, "%v", err)
 		return
 	}
-	specHash, err := spec.Hash()
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
-		return
-	}
-	opts, err := s.buildOptions(req.Config)
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "invalid config: %v", err)
-		return
-	}
-	if req.Config.WarmStart {
-		// Inject before the key is computed: the fingerprint must cover
-		// the initial times actually used (see lookupWarmStart).
-		opts.InitialTimes = s.lookupWarmStart(spec, specHash)
-	}
-	key := specHash + "/" + core.OptionsFingerprint(opts)
 
 	// Cache first: identical (spec, config) requests never re-simulate.
-	if payload, ok := s.cache.Get(key); ok {
+	if payload, ok := s.cache.Get(ps.key); ok {
 		s.cacheHits.Inc()
 		j := s.jobs.createDone(payload, true)
 		writeJSON(w, http.StatusOK, solveResponse{JobID: j.id, Status: StatusDone, Cached: true, Result: payload})
@@ -427,55 +617,20 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	s.cacheMisses.Inc()
 
-	p, err := spec.Build()
+	j, created, err := s.reserveAndCreate(ps)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		s.writeReject(w, err)
 		return
 	}
-	if p.N > s.cfg.MaxVars {
-		writeError(w, http.StatusUnprocessableEntity,
-			"problem has %d variables; this server accepts at most %d", p.N, s.cfg.MaxVars)
-		return
-	}
-
-	deadline := s.cfg.DefaultTimeout
-	if req.TimeoutMS > 0 {
-		deadline = time.Duration(req.TimeoutMS) * time.Millisecond
-		if deadline > s.cfg.MaxTimeout {
-			deadline = s.cfg.MaxTimeout
-		}
-	}
-
-	j, joined := s.jobs.create(context.Background(), key, p, opts, deadline)
-	if joined {
-		s.jobsCoalesced.Inc()
-	} else {
-		j.family, j.scale = spec.Family, spec.Scale
-		// Journal before Submit: once an executor can see the job, its
+	if created {
+		// Journal before Commit: once an executor can see the job, its
 		// lifecycle records must find the submit record already appended
 		// (the journal fold drops records for ids it never saw submitted).
-		s.journalAccept(j, req.Spec, req.Config, req.TimeoutMS, opts.InitialTimes, p.Name)
-		if err := s.queue.Submit(j); err != nil {
-			s.journalState(j, StatusCanceled, "not enqueued")
-			j.finish(StatusCanceled, nil, "not enqueued")
-			s.jobs.settle(j)
-			switch {
-			case errors.Is(err, ErrQueueFull):
-				s.rejectedFull.Inc()
-				w.Header().Set("Retry-After", "1")
-				writeError(w, http.StatusTooManyRequests, "queue full (%d slots); retry later", s.queue.Capacity())
-			case errors.Is(err, ErrDraining):
-				s.rejectedDrain.Inc()
-				writeError(w, http.StatusServiceUnavailable, "server is draining")
-			default:
-				writeError(w, http.StatusInternalServerError, "%v", err)
-			}
+		s.journalAccept(j, ps.rawSpec, ps.cfg, ps.timeoutMS, ps.opts.InitialTimes, ps.problem.Name)
+		if err := s.commitJob(j); err != nil {
+			s.writeReject(w, err)
 			return
 		}
-		s.jobsSubmitted.Inc()
-		s.inflight.Add(1)
-		s.log.Info("job accepted", "job_id", j.id, "spec_hash", key, "problem", p.Name,
-			"deadline_ms", deadline.Milliseconds())
 	}
 
 	if req.WaitMS > 0 {
@@ -489,6 +644,107 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.respondJob(w, j)
+}
+
+// batchRequest is the body of POST /v1/solve/batch: up to Config.MaxBatch
+// independent solve items. Items are admitted individually (mixed
+// outcomes are normal) but accepted items share one journal group-commit,
+// so a K-item batch costs one fsync instead of K.
+type batchRequest struct {
+	Items []solveRequest `json:"items"`
+}
+
+// batchItem is the per-item outcome; Code is the HTTP status the item
+// would have received from POST /v1/solve.
+type batchItem struct {
+	Code        int             `json:"code"`
+	JobID       string          `json:"job_id,omitempty"`
+	Status      Status          `json:"status,omitempty"`
+	Cached      bool            `json:"cached,omitempty"`
+	Error       string          `json:"error,omitempty"`
+	RetryAfterS int             `json:"retry_after_s,omitempty"`
+	Result      json.RawMessage `json:"result,omitempty"`
+}
+
+type batchResponse struct {
+	Items []batchItem `json:"items"`
+}
+
+func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req batchRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	if len(req.Items) == 0 {
+		writeError(w, http.StatusBadRequest, "batch has no items")
+		return
+	}
+	if len(req.Items) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"batch has %d items; this server accepts at most %d", len(req.Items), s.cfg.MaxBatch)
+		return
+	}
+	s.batchRequests.Inc()
+
+	items := make([]batchItem, len(req.Items))
+	type accepted struct {
+		idx int
+		ps  *preparedSolve
+		j   *job
+	}
+	var toCommit []accepted
+	for i, item := range req.Items {
+		ps, code, err := s.prepareSolve(item)
+		if err != nil {
+			items[i] = batchItem{Code: code, Error: err.Error()}
+			continue
+		}
+		if payload, ok := s.cache.Get(ps.key); ok {
+			s.cacheHits.Inc()
+			j := s.jobs.createDone(payload, true)
+			items[i] = batchItem{Code: http.StatusOK, JobID: j.id, Status: StatusDone, Cached: true, Result: payload}
+			continue
+		}
+		s.cacheMisses.Inc()
+		j, created, err := s.reserveAndCreate(ps)
+		if err != nil {
+			code := http.StatusTooManyRequests
+			if errors.Is(err, ErrDraining) {
+				code = http.StatusServiceUnavailable
+			}
+			items[i] = batchItem{Code: code, Error: err.Error(),
+				RetryAfterS: s.admission.retryAfter(s.queue.Load(), s.cfg.Executors)}
+			continue
+		}
+		if !created {
+			// Coalesced onto an in-flight job (possibly an earlier item of
+			// this very batch carrying the same key).
+			v := j.snapshot()
+			items[i] = batchItem{Code: http.StatusAccepted, JobID: v.ID, Status: v.Status, Cached: v.Cached}
+			continue
+		}
+		items[i] = batchItem{Code: http.StatusAccepted, JobID: j.id, Status: StatusQueued}
+		toCommit = append(toCommit, accepted{idx: i, ps: ps, j: j})
+	}
+
+	// One WAL group-commit covers every accepted item, then each commits
+	// into its reserved slot.
+	batch := make([]acceptedJob, len(toCommit))
+	for i, a := range toCommit {
+		batch[i] = acceptedJob{j: a.j, spec: a.ps.rawSpec, cfg: a.ps.cfg,
+			timeoutMS: a.ps.timeoutMS, initialTimes: a.ps.opts.InitialTimes, problem: a.ps.problem.Name}
+	}
+	s.journalAcceptBatch(batch)
+	for _, a := range toCommit {
+		if err := s.commitJob(a.j); err != nil {
+			items[a.idx] = batchItem{Code: http.StatusServiceUnavailable, Error: err.Error()}
+		}
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Items: items})
 }
 
 func (s *Server) respondJob(w http.ResponseWriter, j *job) {
@@ -601,9 +857,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // terminal state: ctx-stopped jobs settle via finishErr, panics become
 // failed jobs, successes land in the cache.
 func (s *Server) runJob(j *job) {
+	enter := time.Now()
 	defer func() {
 		s.jobs.settle(j)
 		s.inflight.Add(-1)
+		// Executor occupancy feeds the Retry-After estimator: how long one
+		// queue slot takes to turn over, instant cancellations included.
+		s.admission.observe(time.Since(enter).Seconds())
 	}()
 	if err := j.ctx.Err(); err != nil {
 		s.finishErr(j, err)
@@ -613,6 +873,13 @@ func (s *Server) runJob(j *job) {
 		s.finishErr(j, context.Canceled)
 		return
 	}
+	// Lease compute for the duration of the solve. The solver re-reads the
+	// lease at every optimizer-iteration boundary, so a job that starts
+	// alone with the whole budget narrows when neighbors arrive and widens
+	// back as they finish — without ever changing its results.
+	lease := s.budget.Acquire()
+	defer lease.Release()
+	j.opts.Workers = lease
 	// Every executed solve records stage spans and convergence telemetry.
 	// Neither can change the result (telemetry observes, never steers) or
 	// the cached payload (convergence lives on the job, not in the result

@@ -136,6 +136,28 @@ func (j *Journal) Submit(id string, data []byte) error {
 	return j.append(journalRecord{Type: recSubmit, ID: id, Data: data})
 }
 
+// SubmitBatch journals a group of job acceptances as one WAL batch: all
+// submit records share a single group-commit fsync, so a K-item batch
+// endpoint pays one durability round trip instead of K. ids and payloads
+// are parallel slices.
+func (j *Journal) SubmitBatch(ids []string, payloads [][]byte) error {
+	if len(ids) != len(payloads) {
+		return fmt.Errorf("store: journal batch: %d ids for %d payloads", len(ids), len(payloads))
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	recs := make([][]byte, len(ids))
+	for i, id := range ids {
+		data, err := json.Marshal(journalRecord{Type: recSubmit, ID: id, Data: payloads[i]})
+		if err != nil {
+			return fmt.Errorf("store: journal record: %w", err)
+		}
+		recs[i] = data
+	}
+	return j.wal.AppendBatch(recs)
+}
+
 // State journals a lifecycle transition.
 func (j *Journal) State(id, state, errMsg string) error {
 	return j.append(journalRecord{Type: recState, ID: id, State: state, Error: errMsg})

@@ -128,29 +128,45 @@ func (w *WAL) replayAndTruncate(replay func(rec []byte)) error {
 // Append durably writes one record: when Append returns nil, the record
 // has been fsynced (possibly by another appender's group commit).
 func (w *WAL) Append(rec []byte) error {
-	if len(rec) > maxWALRecord {
-		return fmt.Errorf("store: wal record %d bytes exceeds limit %d", len(rec), maxWALRecord)
+	return w.AppendBatch([][]byte{rec})
+}
+
+// AppendBatch durably writes a group of records under one mutex hold and
+// one group-commit join: all frames land in the file back to back, then a
+// single fsync (possibly shared with concurrent appenders) covers the
+// whole batch. When AppendBatch returns nil, every record is durable.
+// The batch is atomic in ordering (no foreign record interleaves) but not
+// in durability: a crash mid-batch can persist a prefix, which replay
+// handles record by record like any torn tail.
+func (w *WAL) AppendBatch(recs [][]byte) error {
+	for _, rec := range recs {
+		if len(rec) > maxWALRecord {
+			return fmt.Errorf("store: wal record %d bytes exceeds limit %d", len(rec), maxWALRecord)
+		}
 	}
-	var frame [8]byte
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(rec)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(rec, crcTable))
+	if len(recs) == 0 {
+		return nil
+	}
 
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err != nil {
 		return w.err
 	}
-	if _, err := w.f.Write(frame[:]); err == nil {
-		_, err = w.f.Write(rec)
-		if err != nil {
+	var frame [8]byte
+	for _, rec := range recs {
+		binary.LittleEndian.PutUint32(frame[0:4], uint32(len(rec)))
+		binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(rec, crcTable))
+		if _, err := w.f.Write(frame[:]); err != nil {
 			w.fail(err)
 			return err
 		}
-	} else {
-		w.fail(err)
-		return err
+		if _, err := w.f.Write(rec); err != nil {
+			w.fail(err)
+			return err
+		}
+		w.appendSeq++
 	}
-	w.appendSeq++
 	seq := w.appendSeq
 
 	// Group commit: the first appender to arrive while no fsync is in
