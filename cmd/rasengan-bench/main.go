@@ -120,8 +120,9 @@ func main() {
 		"gallery":  func() (renderer, error) { return experiments.Gallery(cfg, "") },
 		"persist":  func() (renderer, error) { return experiments.Persist(cfg) },
 		"budget":   func() (renderer, error) { return experiments.Budget(cfg) },
+		"obs":      func() (renderer, error) { return experiments.Obs(cfg) },
 	}
-	order := []string{"table1", "table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "summary", "ablation", "gallery", "persist", "budget"}
+	order := []string{"table1", "table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "summary", "ablation", "gallery", "persist", "budget", "obs"}
 
 	var names []string
 	if *exp == "all" {

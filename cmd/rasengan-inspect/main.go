@@ -8,16 +8,22 @@
 //	rasengan-inspect -bench G3
 //	rasengan-inspect -bench F2 -circuits -qasm
 //	rasengan-inspect -checkpoint run.ckpt   # summarize a solve checkpoint
+//	rasengan-inspect -events http://127.0.0.1:6060/debug/events   # dump the flight recorder
+//	rasengan-inspect -events data/captures/job-00000001/events.json
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
 	"rasengan"
 	"rasengan/internal/core"
@@ -44,12 +50,22 @@ func main() {
 		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON of the offline stages (open in chrome://tracing or Perfetto)")
 		engine    = flag.String("engine", "", "execution engine to compile for: map or compiled (default: compiled)")
 		ckptFile  = flag.String("checkpoint", "", "summarize this solve checkpoint file and exit")
+		eventsSrc = flag.String("events", "", "dump a flight-recorder event window and exit: a /debug/events URL or an events.json file (e.g. from an anomaly capture)")
 	)
 	wf := parallel.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if _, err := wf.Apply(); err != nil {
 		log.Fatal(err)
+	}
+	if *eventsSrc != "" {
+		// Standalone mode: render a flight-recorder dump — either fetched
+		// live from a serving binary's /debug/events or read from the
+		// events.json of an anomaly capture.
+		if err := dumpEvents(*eventsSrc); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	if *ckptFile != "" {
 		// Standalone mode: describe a -checkpoint file written by
@@ -215,4 +231,42 @@ func main() {
 			}
 		}
 	}
+}
+
+// dumpEvents renders a flight-recorder window from a /debug/events URL
+// or an events.json file as a fixed-width table.
+func dumpEvents(src string) error {
+	var data []byte
+	var err error
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		client := &http.Client{Timeout: 10 * time.Second}
+		resp, rerr := client.Get(src)
+		if rerr != nil {
+			return rerr
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: HTTP %s", src, resp.Status)
+		}
+		data, err = io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	} else {
+		data, err = os.ReadFile(src)
+	}
+	if err != nil {
+		return err
+	}
+	events, dropped, err := obs.ParseEventDump(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", src, err)
+	}
+	fmt.Printf("flight recorder: %d events resident, %d evicted\n", len(events), dropped)
+	for _, e := range events {
+		ts := time.UnixMilli(e.TimeUnixMS).UTC().Format("15:04:05.000")
+		id := e.JobID
+		if id == "" {
+			id = "-"
+		}
+		fmt.Printf("  %6d  %s  %-5s  %-24s %-14s %s\n", e.Seq, ts, e.Severity, e.Kind, id, e.Detail)
+	}
+	return nil
 }

@@ -7,14 +7,16 @@
 //	rasengan-serve -addr :8080
 //	rasengan-serve -addr :8080 -executors 4 -queue 128 -cache 512
 //	rasengan-serve -addr :8080 -data-dir /var/lib/rasengan        # durable jobs
-//	rasengan-serve -addr :8080 -debug-addr 127.0.0.1:6060   # pprof + expvar
+//	rasengan-serve -addr :8080 -debug-addr 127.0.0.1:6060   # pprof + expvar + /debug/events
+//	rasengan-serve -addr :8080 -stall-window 30s -solve-slo 2m    # anomaly auto-capture
 //
 // API:
 //
 //	POST /v1/solve            submit a problem spec (optionally wait inline)
 //	POST /v1/solve/batch      submit up to -max-batch specs in one request
 //	GET  /v1/jobs             list jobs (?state=done&limit=50&offset=0)
-//	GET  /v1/jobs/{id}        poll job status / fetch the result
+//	GET  /v1/jobs/{id}        poll job status / fetch the result (live jobs carry a progress field)
+//	GET  /v1/jobs/{id}/events stream live per-iteration progress (Server-Sent Events)
 //	POST /v1/jobs/{id}/cancel cancel a queued or running job
 //	GET  /v1/problems         list generator families × scales
 //	GET  /healthz             liveness
@@ -91,11 +93,11 @@ func applyFaultInjection(mode string, logger *slog.Logger) {
 	}
 }
 
-// debugHandler builds the opt-in diagnostics mux: net/http/pprof plus
-// expvar. It is only ever bound to -debug-addr — never merged into the
-// public API handler, so profiles and process internals stay off the
-// serving port.
-func debugHandler() http.Handler {
+// debugHandler builds the opt-in diagnostics mux: net/http/pprof,
+// expvar, and the flight-recorder event dump. It is only ever bound to
+// -debug-addr — never merged into the public API handler, so profiles
+// and process internals stay off the serving port.
+func debugHandler(srv *service.Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -103,6 +105,7 @@ func debugHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/debug/events", srv.DebugEventsHandler())
 	return mux
 }
 
@@ -128,6 +131,11 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "durable state directory (job journal, result blobs, warm-start store); empty = in-memory only")
 		retention = flag.Int("retention", 1024, "terminal jobs kept queryable via GET /v1/jobs")
 		warmCap   = flag.Int("warm-capacity", 4096, "warm-start parameter vectors retained (with -data-dir)")
+		eventRing = flag.Int("event-ring", 0, "flight-recorder event ring capacity (0 = 1024); dump at /debug/events on -debug-addr")
+		maxSSE    = flag.Int("max-event-streams", 0, "concurrent GET /v1/jobs/{id}/events SSE subscribers (0 = 32)")
+		stallWin  = flag.Duration("stall-window", 0, "snapshot a running solve that publishes no iteration progress for this long (0 disables the stall watchdog)")
+		solveSLO  = flag.Duration("solve-slo", 0, "snapshot a solve still running past this latency SLO (0 disables)")
+		captDir   = flag.String("capture-dir", "", "anomaly capture directory (default: <data-dir>/captures; empty without -data-dir counts anomalies but writes no files)")
 	)
 	wf := parallel.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -179,6 +187,15 @@ func main() {
 	if *warmCap < 1 {
 		fatal("-warm-capacity must be >= 1", "got", *warmCap)
 	}
+	if *eventRing < 0 {
+		fatal("-event-ring must be >= 0", "got", *eventRing)
+	}
+	if *maxSSE < 0 {
+		fatal("-max-event-streams must be >= 0", "got", *maxSSE)
+	}
+	if *stallWin < 0 || *solveSLO < 0 {
+		fatal("-stall-window and -solve-slo must be >= 0")
+	}
 	applyFaultInjection(os.Getenv("RASENGAN_FAULT"), logger)
 
 	srv, err := service.Open(service.Config{
@@ -196,13 +213,18 @@ func main() {
 		WarmStartCapacity: *warmCap,
 		Engine:            *engine,
 		Logger:            logger,
+		EventRingSize:     *eventRing,
+		MaxEventStreams:   *maxSSE,
+		StallWindow:       *stallWin,
+		SolveSLO:          *solveSLO,
+		CaptureDir:        *captDir,
 	})
 	if err != nil {
 		fatal("open durable state", "data_dir", *dataDir, "error", err.Error())
 	}
 
 	if *debugAddr != "" {
-		dbgSrv := &http.Server{Addr: *debugAddr, Handler: debugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		dbgSrv := &http.Server{Addr: *debugAddr, Handler: debugHandler(srv), ReadHeaderTimeout: 10 * time.Second}
 		go func() {
 			logger.Info("debug listener up", "addr", *debugAddr)
 			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

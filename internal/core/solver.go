@@ -7,6 +7,7 @@ import (
 	"math"
 	"math/rand"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"rasengan/internal/bitvec"
@@ -93,6 +94,17 @@ type TelemetryOptions struct {
 	// records then carry the running ARG |(E_opt − E_best)/E_opt|.
 	EOpt      float64
 	EOptKnown bool
+	// Progress, when non-nil, receives one folded record per completed
+	// optimizer iteration (see obs.ProgressCell): total iteration count,
+	// incumbent best energy/ARG/param-norm across the concurrent
+	// multi-starts, the solve's current worker-lease width, and the
+	// checkpoint sequence. Like Spans it is write-only for the solver —
+	// watchers read the cell, the solver never does.
+	Progress *obs.ProgressCell
+	// Events, when non-nil, receives flight-recorder events from inside
+	// the solve (engine fallback, lease renegotiation, checkpoint writes,
+	// recovered panics) with the scope's job correlation ids attached.
+	Events *obs.EventScope
 }
 
 // IterationTelemetry is one per-iteration convergence record. Everything
@@ -190,7 +202,9 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			result, rerr = nil, NewSolvePanicError(r)
+			perr := NewSolvePanicError(r)
+			opts.Telemetry.Events.Event(obs.SevError, obs.EventPanic, perr.Error())
+			result, rerr = nil, perr
 		}
 	}()
 	if e := ctx.Err(); e != nil {
@@ -244,6 +258,10 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 	if err != nil {
 		return nil, err
 	}
+	if exec.EngineFallbackReason != "" {
+		opts.Telemetry.Events.Event(obs.SevWarn, obs.EventEngineFallback,
+			exec.EngineUsed+": "+exec.EngineFallbackReason)
+	}
 	compileMS := float64(time.Since(compileStart).Microseconds()) / 1000
 	fault(FaultCompile)
 
@@ -284,6 +302,12 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 	if rc != nil && len(rc.file.Starts) != len(starts) {
 		return nil, fmt.Errorf("core: checkpoint holds %d starts, this solve uses %d (corrupt or hand-edited file)", len(rc.file.Starts), len(starts))
 	}
+	// Live-introspection plumbing. cell/events are nil-safe throughout;
+	// ckptSeq counts checkpoint files written so progress records can
+	// carry the sequence without the assembler knowing about progress.
+	cell := opts.Telemetry.Progress
+	events := opts.Telemetry.Events
+	var ckptSeq atomic.Uint64
 	var ck *checkpointAssembler
 	if persist {
 		schedBytes := json.RawMessage(nil)
@@ -292,7 +316,25 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 		} else if schedBytes, err = MarshalSchedule(p, sched); err != nil {
 			return nil, fmt.Errorf("core: checkpoint: %w", err)
 		}
-		ck = newCheckpointAssembler(p, opts, schedBytes, len(starts), opts.Checkpoint)
+		ckOpts := opts.Checkpoint
+		if cell != nil || events != nil {
+			// Wrap (a copy of) the write hook to count and report writes.
+			// Counting after a successful write keeps the sequence equal to
+			// the number of files that actually landed.
+			inner := ckOpts.Write
+			wrapped := *ckOpts
+			wrapped.Write = func(data []byte) error {
+				werr := inner(data)
+				if werr == nil {
+					seq := ckptSeq.Add(1)
+					events.Event(obs.SevInfo, obs.EventCheckpoint,
+						fmt.Sprintf("seq %d (%d bytes)", seq, len(data)))
+				}
+				return werr
+			}
+			ckOpts = &wrapped
+		}
+		ck = newCheckpointAssembler(p, opts, schedBytes, len(starts), ckOpts)
 	}
 
 	// Starts run concurrently on the shared worker pool. Each owns a
@@ -325,7 +367,7 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 			startTracks[i] = rec.Track("start " + strconv.Itoa(i))
 		}
 	}
-	telemetryOn := rec.Enabled() || opts.Telemetry.Convergence
+	telemetryOn := rec.Enabled() || opts.Telemetry.Convergence || cell != nil
 	convs := make([][]IterationTelemetry, len(starts))
 
 	// Compute-budget plumbing. With no limiter the fan-out and kernels run
@@ -447,8 +489,15 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 		// only moves wall time.
 		var renegotiate func(iter int, bestF float64, bestX []float64)
 		if lim != nil {
+			lastWidth := innerWidth()
 			renegotiate = func(int, float64, []float64) {
-				ex.SetWorkerLimit(innerWidth())
+				w := innerWidth()
+				if w != lastWidth {
+					events.Event(obs.SevInfo, obs.EventLease,
+						fmt.Sprintf("start %d width %d -> %d", i, lastWidth, w))
+					lastWidth = w
+				}
+				ex.SetWorkerLimit(w)
 			}
 			oopts.OnIteration = renegotiate
 		}
@@ -482,6 +531,28 @@ func Solve(ctx context.Context, p *problems.Problem, opts Options) (result *Resu
 						it.ARG = math.Abs((opts.Telemetry.EOpt - bestF) / opts.Telemetry.EOpt)
 					}
 					convs[i] = append(convs[i], it)
+				}
+				if cell != nil {
+					// The cell folds concurrent starts into one monotone view
+					// (total iteration count, incumbent best), so a watcher
+					// sees non-increasing best energy no matter which start
+					// publishes; this record is just one start's boundary.
+					pr := obs.Progress{
+						Start:         i,
+						Iter:          iter,
+						BestEnergy:    bestF,
+						ARG:           math.NaN(),
+						ParamNorm:     l2norm(bestX),
+						CheckpointSeq: ckptSeq.Load(),
+						ElapsedMS:     float64(time.Since(wallStart).Microseconds()) / 1000,
+					}
+					if opts.Telemetry.EOptKnown && opts.Telemetry.EOpt != 0 {
+						pr.ARG = math.Abs((opts.Telemetry.EOpt - bestF) / opts.Telemetry.EOpt)
+					}
+					if lim != nil {
+						pr.Workers = innerWidth()
+					}
+					cell.Publish(pr)
 				}
 			}
 		}

@@ -1,0 +1,46 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RegisterRuntime adds Go runtime/process gauges to the registry:
+// goroutine count, heap allocation, cumulative GC pause, GC cycle count,
+// and process uptime. Values are read at exposition time; the memstats
+// snapshot is shared across the heap/GC gauges and refreshed at most
+// once per second, so one scrape costs one ReadMemStats stop-the-world
+// rather than one per gauge.
+func RegisterRuntime(r *Registry) {
+	start := time.Now()
+
+	var mu sync.Mutex
+	var ms runtime.MemStats
+	var last time.Time
+	memstats := func() runtime.MemStats {
+		mu.Lock()
+		defer mu.Unlock()
+		if last.IsZero() || time.Since(last) >= time.Second {
+			runtime.ReadMemStats(&ms)
+			last = time.Now()
+		}
+		return ms
+	}
+
+	r.GaugeFunc("rasengan_process_uptime_seconds", "Seconds since the process registered its metrics.", func() float64 {
+		return time.Since(start).Seconds()
+	})
+	r.GaugeFunc("rasengan_go_goroutines", "Goroutines currently live.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("rasengan_go_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		return float64(memstats().HeapAlloc)
+	})
+	r.GaugeFunc("rasengan_go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", func() float64 {
+		return float64(memstats().PauseTotalNs) / 1e9
+	})
+	r.GaugeFunc("rasengan_go_gc_cycles_total", "Completed GC cycles.", func() float64 {
+		return float64(memstats().NumGC)
+	})
+}

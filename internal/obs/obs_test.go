@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -180,5 +181,86 @@ func TestConcurrentRecording(t *testing.T) {
 	totals := r.StageTotals()
 	if _, ok := totals[StageSegment]; !ok {
 		t.Error("no segment totals after concurrent recording")
+	}
+}
+
+// TestConcurrentRecordingAcrossTracks drives Start/End/Record from many
+// goroutines that each allocate their own track, interleaved with
+// readers taking Spans/StageTotals/TrackNames snapshots — under -race
+// this proves writers and readers never share unsynchronized state.
+func TestConcurrentRecordingAcrossTracks(t *testing.T) {
+	r := NewRecorder()
+	const goroutines = 8
+	const perG = 100
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = r.Spans()
+					_ = r.StageTotals()
+					_ = r.TrackNames()
+				}
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			track := r.Track(fmt.Sprintf("worker-%d", g))
+			for i := 0; i < perG; i++ {
+				id := r.Start(StageSegment, track, NoParent)
+				r.Record(StageSample, track, id, r.Now(), r.Now())
+				r.End(id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if got := r.Len(); got != goroutines*perG*2 {
+		t.Errorf("recorded %d spans, want %d", got, goroutines*perG*2)
+	}
+	names := r.TrackNames()
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		seen[n] = true
+	}
+	for g := 0; g < goroutines; g++ {
+		if !seen[fmt.Sprintf("worker-%d", g)] {
+			t.Errorf("track worker-%d missing from %v", g, names)
+		}
+	}
+}
+
+// TestSpansSnapshotIsolation verifies Spans returns an independent copy:
+// mutating the returned slice must not corrupt the recorder, and spans
+// recorded after the snapshot must not appear in it.
+func TestSpansSnapshotIsolation(t *testing.T) {
+	r := NewRecorder()
+	id := r.Start(StageBasis, 0, NoParent)
+	r.End(id)
+	snap := r.Spans()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d spans, want 1", len(snap))
+	}
+	snap[0].Name = "mangled"
+	if got := r.Spans()[0].Name; got != StageBasis {
+		t.Fatalf("snapshot aliases recorder storage: name became %q", got)
+	}
+	r.Record(StageSample, 0, NoParent, r.Now(), r.Now())
+	if len(snap) != 1 {
+		t.Fatalf("earlier snapshot grew to %d spans", len(snap))
+	}
+	if r.Len() != 2 {
+		t.Fatalf("recorder has %d spans, want 2", r.Len())
 	}
 }

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+)
+
+// Live solve progress. A ProgressCell is the bridge between the solver's
+// optimizer-iteration hook and anything that wants to watch a running
+// solve (the service's job view, the SSE event stream, the stall
+// watchdog): the solver folds one record per completed iteration into
+// the cell, and observers either snapshot the latest state (Load) or
+// block for the next publication (Wait). Like the span recorder,
+// progress observes and never steers — the solver writes into the cell
+// and reads nothing back, so enabling it cannot change a result.
+
+// Progress is the folded live state of one solve. The cell maintains the
+// fold: Iteration counts completed optimizer iterations across every
+// concurrent multi-start (monotone non-decreasing), and
+// BestEnergy/ARG/ParamNorm track the incumbent best across starts
+// (BestEnergy is non-increasing). Start/Iter identify the iteration that
+// was folded in last; Workers/CheckpointSeq/ElapsedMS are the latest
+// observed values.
+type Progress struct {
+	// Iteration is the total number of completed optimizer iterations
+	// across all multi-starts — monotone by construction.
+	Iteration int `json:"iteration"`
+	// Start and Iter locate the most recently folded iteration: the
+	// multi-start index and its 0-based iteration counter.
+	Start int `json:"start"`
+	Iter  int `json:"iter"`
+	// BestEnergy is the best objective expectation seen by any start so
+	// far — non-increasing by construction.
+	BestEnergy float64 `json:"best_energy"`
+	// ARG is the running approximation-ratio gap of BestEnergy against
+	// the known optimum; NaN when no optimum was supplied (and then
+	// omitted from the JSON encoding — NaN has no JSON representation).
+	ARG float64 `json:"-"`
+	// ParamNorm is the L2 norm of the incumbent best evolution-time
+	// vector (the one BestEnergy belongs to).
+	ParamNorm float64 `json:"param_norm"`
+	// Workers is the solve's current worker-lease width — how many pool
+	// workers its kernels may claim right now (renegotiated by the
+	// serving layer's compute budget at iteration boundaries).
+	Workers int `json:"workers,omitempty"`
+	// CheckpointSeq counts checkpoint files written so far (0 when
+	// checkpointing is off).
+	CheckpointSeq uint64 `json:"checkpoint_seq,omitempty"`
+	// ElapsedMS is wall time since the publishing start's optimizer
+	// began — the only nondeterministic field.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// MarshalJSON encodes the record, including "arg" only when ARG is a
+// number (NaN marks "no optimum known" and is unrepresentable in JSON).
+func (p Progress) MarshalJSON() ([]byte, error) {
+	type plain Progress // method-free shadow: embedding Progress would recurse
+	out := struct {
+		plain
+		ARGOut *float64 `json:"arg,omitempty"`
+	}{plain: plain(p)}
+	if !math.IsNaN(p.ARG) {
+		arg := p.ARG
+		out.ARGOut = &arg
+	}
+	return json.Marshal(out)
+}
+
+// ProgressCell is a lock-cheap single-value cell holding the folded
+// Progress of one solve. Publishing costs one short mutex hold plus one
+// small channel allocation (the broadcast edge); there is no per-
+// subscriber fan-out state, so any number of watchers can Wait on the
+// same cell without the publisher knowing. All methods are nil-safe.
+type ProgressCell struct {
+	mu  sync.Mutex
+	p   Progress
+	seq uint64
+	ch  chan struct{} // closed on every publish, then replaced
+}
+
+// NewProgressCell returns an empty cell (seq 0, nothing published).
+func NewProgressCell() *ProgressCell {
+	return &ProgressCell{ch: make(chan struct{})}
+}
+
+// Publish folds one completed-iteration record into the cell and wakes
+// every Wait-er. The fold keeps the monotone contract: Iteration
+// increments by one per call regardless of rec.Iteration, and
+// BestEnergy/ARG/ParamNorm only move when rec.BestEnergy improves on
+// the incumbent (ties keep the incumbent). Workers, CheckpointSeq,
+// ElapsedMS, Start, and Iter always take the latest value.
+func (c *ProgressCell) Publish(rec Progress) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	prev := c.p
+	rec.Iteration = prev.Iteration + 1
+	if c.seq > 0 && !(rec.BestEnergy < prev.BestEnergy) {
+		rec.BestEnergy = prev.BestEnergy
+		rec.ARG = prev.ARG
+		rec.ParamNorm = prev.ParamNorm
+	}
+	c.p = rec
+	c.seq++
+	ch := c.ch
+	c.ch = make(chan struct{})
+	c.mu.Unlock()
+	close(ch)
+}
+
+// Load returns the latest folded record and its publication sequence
+// number; ok is false (and the record zero) before the first Publish.
+// On a nil cell it returns ok == false.
+func (c *ProgressCell) Load() (p Progress, seq uint64, ok bool) {
+	if c == nil {
+		return Progress{}, 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.p, c.seq, c.seq > 0
+}
+
+// Wait returns a channel closed at the next Publish. Callers re-call
+// Wait after each wakeup to observe the following publish; combining
+// Wait with Load gives lossy-but-fresh streaming (a slow consumer skips
+// intermediate records instead of buffering them). A nil cell returns
+// nil, which blocks forever in a select.
+func (c *ProgressCell) Wait() <-chan struct{} {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ch
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestProgressCellFold verifies the monotone fold contract: Iteration
+// counts publishes, BestEnergy never worsens, and the incumbent's
+// ARG/ParamNorm stick with its energy while latest-value fields track
+// every publish.
+func TestProgressCellFold(t *testing.T) {
+	c := NewProgressCell()
+	if _, _, ok := c.Load(); ok {
+		t.Fatal("empty cell reports a record")
+	}
+
+	c.Publish(Progress{Start: 0, Iter: 0, BestEnergy: -5, ARG: 0.5, ParamNorm: 1, Workers: 4})
+	p, seq, ok := c.Load()
+	if !ok || seq != 1 {
+		t.Fatalf("after first publish: ok=%v seq=%d", ok, seq)
+	}
+	if p.Iteration != 1 || p.BestEnergy != -5 || p.ARG != 0.5 {
+		t.Fatalf("first record folded wrong: %+v", p)
+	}
+
+	// A worse energy from another start must not move the incumbent.
+	c.Publish(Progress{Start: 1, Iter: 0, BestEnergy: -3, ARG: 0.9, ParamNorm: 7, Workers: 2})
+	p, seq, _ = c.Load()
+	if seq != 2 || p.Iteration != 2 {
+		t.Fatalf("iteration count not monotone: %+v (seq %d)", p, seq)
+	}
+	if p.BestEnergy != -5 || p.ARG != 0.5 || p.ParamNorm != 1 {
+		t.Fatalf("worse publish moved the incumbent: %+v", p)
+	}
+	if p.Workers != 2 || p.Start != 1 {
+		t.Fatalf("latest-value fields not taken: %+v", p)
+	}
+
+	// An improvement replaces the incumbent.
+	c.Publish(Progress{Start: 1, Iter: 1, BestEnergy: -8, ARG: 0.1, ParamNorm: 3})
+	p, _, _ = c.Load()
+	if p.Iteration != 3 || p.BestEnergy != -8 || p.ARG != 0.1 || p.ParamNorm != 3 {
+		t.Fatalf("improvement not folded: %+v", p)
+	}
+}
+
+// TestProgressCellMonotoneUnderConcurrency hammers the cell from many
+// publishers and asserts every observed snapshot is monotone in
+// Iteration and non-increasing in BestEnergy — the invariant the SSE
+// stream (and the CI smoke) relies on.
+func TestProgressCellMonotoneUnderConcurrency(t *testing.T) {
+	c := NewProgressCell()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.Publish(Progress{Start: g, Iter: i, BestEnergy: float64(-i) - float64(g)*0.1})
+			}
+		}(g)
+	}
+	go func() { wg.Wait(); close(done) }()
+
+	lastIter := 0
+	lastBest := math.Inf(1)
+	lastSeq := uint64(0)
+	for {
+		p, seq, ok := c.Load()
+		if ok && seq != lastSeq {
+			if p.Iteration < lastIter {
+				t.Fatalf("iteration went backwards: %d after %d", p.Iteration, lastIter)
+			}
+			if p.BestEnergy > lastBest {
+				t.Fatalf("best energy worsened: %v after %v", p.BestEnergy, lastBest)
+			}
+			lastIter, lastBest, lastSeq = p.Iteration, p.BestEnergy, seq
+		}
+		select {
+		case <-done:
+			if p, _, _ := c.Load(); p.Iteration != 800 {
+				t.Fatalf("final iteration count %d, want 800", p.Iteration)
+			}
+			return
+		default:
+		}
+	}
+}
+
+// TestProgressCellWait verifies the broadcast edge: a Wait channel taken
+// before a publish is closed by it, and a fresh Wait blocks until the
+// next one.
+func TestProgressCellWait(t *testing.T) {
+	c := NewProgressCell()
+	ch := c.Wait()
+	select {
+	case <-ch:
+		t.Fatal("Wait channel closed before any publish")
+	default:
+	}
+	c.Publish(Progress{BestEnergy: 1})
+	select {
+	case <-ch:
+	default:
+		t.Fatal("Wait channel not closed by publish")
+	}
+	ch2 := c.Wait()
+	select {
+	case <-ch2:
+		t.Fatal("fresh Wait channel already closed")
+	default:
+	}
+}
+
+// TestProgressCellNilSafe exercises every method on a nil cell.
+func TestProgressCellNilSafe(t *testing.T) {
+	var c *ProgressCell
+	c.Publish(Progress{BestEnergy: 1})
+	if _, _, ok := c.Load(); ok {
+		t.Fatal("nil cell reports a record")
+	}
+	if ch := c.Wait(); ch != nil {
+		t.Fatal("nil cell returned a non-nil wait channel")
+	}
+}
+
+// TestProgressMarshalOmitsNaNARG checks the JSON encoding: ARG appears
+// as "arg" only when an optimum was known (non-NaN).
+func TestProgressMarshalOmitsNaNARG(t *testing.T) {
+	withARG, err := json.Marshal(Progress{Iteration: 3, BestEnergy: -2, ARG: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(withARG), `"arg":0.25`) {
+		t.Fatalf("arg missing from %s", withARG)
+	}
+	noARG, err := json.Marshal(Progress{Iteration: 3, BestEnergy: -2, ARG: math.NaN()})
+	if err != nil {
+		t.Fatalf("NaN ARG must not fail encoding: %v", err)
+	}
+	if strings.Contains(string(noARG), "arg") {
+		t.Fatalf("NaN arg leaked into %s", noARG)
+	}
+	var back Progress
+	if err := json.Unmarshal(withARG, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Iteration != 3 || back.BestEnergy != -2 {
+		t.Fatalf("roundtrip lost fields: %+v", back)
+	}
+}

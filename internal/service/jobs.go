@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rasengan/internal/core"
+	"rasengan/internal/obs"
 	"rasengan/internal/problems"
 )
 
@@ -44,6 +45,12 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// progress is the job's live-introspection cell: the solver folds one
+	// record per optimizer iteration into it, and the job view, the SSE
+	// stream, and the stall watchdog read it. Nil on cache-hit and
+	// journal-restored terminal jobs (they never run).
+	progress *obs.ProgressCell
+
 	mu       sync.Mutex
 	status   Status
 	result   []byte
@@ -64,8 +71,7 @@ type job struct {
 
 func (j *job) snapshot() jobView {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	return jobView{
+	v := jobView{
 		ID:        j.id,
 		Status:    j.status,
 		Cached:    j.cached,
@@ -73,6 +79,16 @@ func (j *job) snapshot() jobView {
 		Result:    j.result,
 		Telemetry: j.telemetry,
 	}
+	j.mu.Unlock()
+	// Live progress rides only non-terminal views: terminal responses are
+	// summarized by the deterministic result payload and the convergence
+	// telemetry, and must not grow nondeterministic live-state fields.
+	if v.Status == StatusQueued || v.Status == StatusRunning {
+		if p, _, ok := j.progress.Load(); ok {
+			v.Progress = &p
+		}
+	}
+	return v
 }
 
 // setConvergence attaches the solve's convergence telemetry; call before
@@ -116,6 +132,9 @@ type jobView struct {
 	Error     string                    `json:"error,omitempty"`
 	Result    []byte                    `json:"-"`
 	Telemetry []core.IterationTelemetry `json:"telemetry,omitempty"`
+	// Progress is the latest live-progress record; present only while the
+	// job is queued/running and its solve has published at least once.
+	Progress *obs.Progress `json:"progress,omitempty"`
 }
 
 // jobStore tracks jobs by id, deduplicates in-flight work by content
@@ -166,6 +185,7 @@ func (s *jobStore) create(base context.Context, key string, p *problems.Problem,
 		opts:     opts,
 		ctx:      ctx,
 		cancel:   cancel,
+		progress: obs.NewProgressCell(),
 		status:   StatusQueued,
 		accepted: time.Now(),
 		done:     make(chan struct{}),
@@ -308,6 +328,7 @@ func (s *jobStore) restoreActive(base context.Context, id, key string, p *proble
 		opts:     opts,
 		ctx:      ctx,
 		cancel:   cancel,
+		progress: obs.NewProgressCell(),
 		status:   StatusQueued,
 		accepted: time.Now(),
 		done:     make(chan struct{}),
@@ -347,6 +368,7 @@ func (s *jobStore) list(status Status, offset, limit int) (views []jobView, tota
 		}
 		v.Result = nil // listings are summaries, not payloads
 		v.Telemetry = nil
+		v.Progress = nil
 		views = append(views, v)
 	}
 	return views, total

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"rasengan/internal/core"
+	"rasengan/internal/obs"
 	"rasengan/internal/problems"
 	"rasengan/internal/store"
 )
@@ -126,6 +127,10 @@ func (s *Server) recover(entries []store.JobEntry) error {
 		default:
 			s.log.Warn("recovery: unknown journal state", "job_id", e.ID, "state", e.State)
 		}
+	}
+	if len(entries) > 0 {
+		s.events.Record(obs.SevInfo, obs.EventWALRecovery, "", "",
+			fmt.Sprintf("replayed %d journal entries, recovered %.0f jobs", len(entries), s.jobsRecovered.Value()))
 	}
 	return s.persist.journal.Compact(kept)
 }
@@ -303,6 +308,8 @@ func (s *Server) lookupWarmStart(spec *problems.Spec, specHash string, p *proble
 	if times, ok := s.persist.warm.Get("spec:" + specHash); ok {
 		if s.warmDimOK(specHash, p, opts, times) {
 			s.warmHitsExact.Inc()
+			s.events.Record(obs.SevInfo, obs.EventWarmStart, "", specHash,
+				fmt.Sprintf("exact spec match (%d params)", len(times)))
 			return times
 		}
 	}
@@ -310,6 +317,8 @@ func (s *Server) lookupWarmStart(spec *problems.Spec, specHash string, p *proble
 		if times, ok := s.persist.warm.Get(warmKeyFamily(spec.Family, spec.Scale)); ok {
 			if s.warmDimOK(specHash, p, opts, times) {
 				s.warmHitsFamily.Inc()
+				s.events.Record(obs.SevInfo, obs.EventWarmStart, "", specHash,
+					fmt.Sprintf("%s (%d params)", warmKeyFamily(spec.Family, spec.Scale), len(times)))
 				return times
 			}
 		}
@@ -343,6 +352,8 @@ func (s *Server) warmDimOK(specHash string, p *problems.Problem, opts core.Optio
 	}
 	if len(times) != want {
 		s.warmDimSkips.Inc()
+		s.events.Record(obs.SevWarn, obs.EventWarmStartDimMismatch, "", specHash,
+			fmt.Sprintf("stored %d params, schedule wants %d", len(times), want))
 		s.log.Warn("warm start skipped: dimension mismatch",
 			"spec_hash", specHash, "stored", len(times), "want", want)
 		return false

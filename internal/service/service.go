@@ -9,6 +9,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"time"
@@ -89,6 +90,26 @@ type Config struct {
 	// done/failed/cancelled) with job_id/spec_hash/stage fields. Nil
 	// discards them; the serving binary passes a JSON handler.
 	Logger *slog.Logger
+	// EventRingSize bounds the flight-recorder event ring (default
+	// obs.DefaultEventRingSize; the ring keeps the most recent N events).
+	EventRingSize int
+	// MaxEventStreams bounds concurrent GET /v1/jobs/{id}/events SSE
+	// subscribers across all jobs (default 32); excess requests get 503.
+	MaxEventStreams int
+	// SSEHeartbeat is the idle keep-alive interval of the SSE stream
+	// (default 15s; tests shrink it).
+	SSEHeartbeat time.Duration
+	// StallWindow, when positive, arms the per-job stall watchdog: a
+	// running solve that publishes no iteration progress for this long is
+	// snapshotted into the capture directory (reason "stall"). 0 disables.
+	StallWindow time.Duration
+	// SolveSLO, when positive, is the solve-latency SLO: a solve still
+	// running past it is snapshotted once (reason "slo"). 0 disables.
+	SolveSLO time.Duration
+	// CaptureDir is where anomaly captures land, one directory per job id.
+	// Empty defaults to DataDir/captures when DataDir is set; with neither,
+	// the watchdog still counts and records anomalies but writes no files.
+	CaptureDir string
 	// Solve substitutes the solver implementation (tests only).
 	Solve SolveFunc
 }
@@ -124,6 +145,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch == 0 {
 		c.MaxBatch = 16
 	}
+	if c.EventRingSize == 0 {
+		c.EventRingSize = obs.DefaultEventRingSize
+	}
+	if c.MaxEventStreams == 0 {
+		c.MaxEventStreams = 32
+	}
+	if c.SSEHeartbeat == 0 {
+		c.SSEHeartbeat = 15 * time.Second
+	}
+	if c.CaptureDir == "" && c.DataDir != "" {
+		c.CaptureDir = filepath.Join(c.DataDir, "captures")
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -148,6 +181,11 @@ type Server struct {
 	budget    *parallel.Budget
 	admission admissionEstimator
 
+	// events is the flight recorder (see obs.EventRing); streamSem bounds
+	// concurrent SSE subscribers (Config.MaxEventStreams).
+	events    *obs.EventRing
+	streamSem chan struct{}
+
 	// warmDims memoizes the schedule parameter count per (spec hash,
 	// schedule-shaping options) so warm-start dimension validation does
 	// not rebuild the basis and schedule on every lookup.
@@ -157,7 +195,6 @@ type Server struct {
 
 	log *slog.Logger
 
-	reqDuration    metrics.Histogram
 	solveDuration  metrics.Histogram
 	cacheHits      metrics.Counter
 	cacheMisses    metrics.Counter
@@ -206,9 +243,10 @@ func Open(cfg Config) (*Server, error) {
 	s.budget = parallel.NewBudget(cfg.WorkerBudget)
 	s.problemsJSON = buildProblemsListing()
 	s.log = cfg.Logger
+	s.events = obs.NewEventRing(cfg.EventRingSize)
+	s.streamSem = make(chan struct{}, cfg.MaxEventStreams)
 
 	r := s.reg
-	s.reqDuration = r.Histogram("rasengan_http_request_duration_seconds", "HTTP request latency.", nil)
 	s.solveDuration = r.Histogram("rasengan_solve_duration_seconds", "Executor time per job.", nil)
 	s.cacheHits = r.Counter("rasengan_cache_hits_total", "Solve requests answered from the result cache.")
 	s.cacheMisses = r.Counter("rasengan_cache_misses_total", "Solve requests that required computation.")
@@ -260,6 +298,17 @@ func Open(cfg Config) (*Server, error) {
 	r.GaugeFunc("rasengan_worker_budget_granted", "Sum of lease grants outstanding (= budget while leases ≤ budget).", func() float64 {
 		return float64(s.budget.Granted())
 	})
+	// Anomaly-capture reasons are pre-registered so the family is visible
+	// at zero; the watchdog increments via the same CounterWith call.
+	r.CounterWith("rasengan_anomaly_captures_total", "Anomaly snapshots taken by the slow-solve watchdog.", [2]string{"reason", "stall"})
+	r.CounterWith("rasengan_anomaly_captures_total", "Anomaly snapshots taken by the slow-solve watchdog.", [2]string{"reason", "slo"})
+	r.GaugeFunc("rasengan_event_ring_events", "Events resident in the flight-recorder ring.", func() float64 {
+		return float64(s.events.Len())
+	})
+	r.GaugeFunc("rasengan_event_ring_dropped_total", "Events evicted from the flight-recorder ring.", func() float64 {
+		return float64(s.events.Dropped())
+	})
+	metrics.RegisterRuntime(r)
 	r.GaugeFunc("rasengan_warmstart_hit_ratio", "Fraction of warm-start lookups served from the store.", func() float64 {
 		hits := s.warmHitsExact.Value() + s.warmHitsFamily.Value()
 		total := hits + s.warmMisses.Value()
@@ -310,6 +359,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/solve/batch", s.instrument("solve_batch", s.handleSolveBatch))
 	mux.HandleFunc("GET /v1/jobs", s.instrument("jobs", s.handleJobs))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("job", s.handleJob))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("job_events", s.handleJobEvents))
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.instrument("cancel", s.handleCancel))
 	mux.HandleFunc("GET /v1/problems", s.instrument("problems", s.handleProblems))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
@@ -318,16 +368,26 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	// The duration child is resolved once per route at wrap time, so the
+	// per-request cost is one histogram observation, not a registry lookup.
+	dur := s.reg.HistogramWith("rasengan_http_request_duration_seconds",
+		"HTTP request latency by route.", nil, [2]string{"route", route})
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		h(rec, r)
-		s.reqDuration.Observe(time.Since(start).Seconds())
+		dur.Observe(time.Since(start).Seconds())
 		s.reg.CounterWith("rasengan_http_requests_total", "HTTP requests by route and status.",
 			[2]string{"route", route}, [2]string{"code", fmt.Sprintf("%d", rec.code)}).Inc()
 	}
 }
 
+// statusRecorder captures the response status for the request counter. It
+// must stay transparent to streaming handlers: Flush forwards to the
+// underlying writer when it supports flushing (SSE breaks without this —
+// events would sit in the server's buffer until the stream ends), and
+// Unwrap lets http.ResponseController reach every other optional
+// interface of the original writer.
 type statusRecorder struct {
 	http.ResponseWriter
 	code int
@@ -337,6 +397,14 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
 	r.ResponseWriter.WriteHeader(code)
 }
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // --- request/response shapes ---
 
@@ -411,6 +479,10 @@ type solveResponse struct {
 	// per optimizer iteration). Present on computed jobs only — cache hits
 	// replay result bytes, not the original run's telemetry.
 	Telemetry []core.IterationTelemetry `json:"telemetry,omitempty"`
+	// Progress is the latest live-progress record of a queued/running job
+	// (see obs.Progress); never present on terminal responses, so cached
+	// payload byte-identity is untouched.
+	Progress *obs.Progress `json:"progress,omitempty"`
 }
 
 type errorResponse struct {
@@ -530,6 +602,8 @@ func (s *Server) reserveAndCreate(ps *preparedSolve) (j *job, created bool, err 
 	}
 	if s.shedding() {
 		s.jobsShed.Inc()
+		s.events.Record(obs.SevWarn, obs.EventShed, "", ps.specHash,
+			fmt.Sprintf("watermark: queue at %d of %d slots", s.queue.Load(), s.queue.Capacity()))
 		return nil, false, errShedding
 	}
 	// Reserve before create: a synchronous rejection (429/503) must leave
@@ -538,6 +612,8 @@ func (s *Server) reserveAndCreate(ps *preparedSolve) (j *job, created bool, err 
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			s.rejectedFull.Inc()
+			s.events.Record(obs.SevWarn, obs.EventShed, "", ps.specHash,
+				fmt.Sprintf("queue full (%d slots)", s.queue.Capacity()))
 		case errors.Is(err, ErrDraining):
 			s.rejectedDrain.Inc()
 		}
@@ -753,7 +829,7 @@ func (s *Server) respondJob(w http.ResponseWriter, j *job) {
 	if v.Status == StatusDone || v.Status == StatusFailed || v.Status == StatusCanceled {
 		code = http.StatusOK
 	}
-	writeJSON(w, code, solveResponse{JobID: v.ID, Status: v.Status, Cached: v.Cached, Error: v.Error, Result: v.Result, Telemetry: v.Telemetry})
+	writeJSON(w, code, solveResponse{JobID: v.ID, Status: v.Status, Cached: v.Cached, Error: v.Error, Result: v.Result, Telemetry: v.Telemetry, Progress: v.Progress})
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -887,11 +963,22 @@ func (s *Server) runJob(j *job) {
 	rec := obs.NewRecorder()
 	j.opts.Telemetry.Spans = rec
 	j.opts.Telemetry.Convergence = true
+	// Live introspection: the solver publishes per-iteration progress into
+	// the job's cell and flight-recorder events into the shared ring, both
+	// correlated with this job. Neither can steer the solve.
+	j.opts.Telemetry.Progress = j.progress
+	specHash := j.key
+	if sh, _, ok := splitKey(j.key); ok {
+		specHash = sh
+	}
+	j.opts.Telemetry.Events = &obs.EventScope{Ring: s.events, JobID: j.id, SpecHash: specHash}
 	s.journalState(j, StatusRunning, "")
 	s.log.Info("job running", "job_id", j.id, "spec_hash", j.key, "problem", j.problem.Name)
 	s.solvesRunning.Inc()
 	start := time.Now()
+	stopWatch := s.watchJob(j, rec, specHash)
 	res, err := s.runSolve(j)
+	stopWatch()
 	s.solvesRunning.Dec()
 	if err != nil {
 		if j.ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
