@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"strings"
+	"sync"
+)
+
+// jobEntry is the gateway's record of one proxied job: where it lives
+// now, what it is called there, and — for jobs the gateway submitted
+// itself — enough of the original request to re-submit it elsewhere if
+// the owner dies (content addressing makes the re-submission safe: the
+// same spec and config produce the same payload on any node).
+type jobEntry struct {
+	backend  string // current owner's Backend.ID
+	upstream string // the job id on that backend
+	specHash string // canonical spec hash (ring key); "" when unknown
+	request  []byte // re-submittable solve body (wait_ms stripped); nil when unknown
+}
+
+// jobMap is a bounded id → entry index with FIFO eviction, the same
+// ring-buffer shape as the service's job retention. Entries for jobs
+// the gateway never submitted (e.g. after a gateway restart) are
+// reconstructed statelessly from the id's "<backend>." prefix, so
+// eviction only costs the failover stash, never resolvability.
+type jobMap struct {
+	mu       sync.Mutex
+	byID     map[string]*jobEntry
+	retained []string
+	head     int
+	count    int
+}
+
+func newJobMap(capacity int) *jobMap {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &jobMap{byID: map[string]*jobEntry{}, retained: make([]string, capacity)}
+}
+
+func (m *jobMap) put(id string, e *jobEntry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.byID[id]; ok {
+		m.byID[id] = e
+		return
+	}
+	if m.count < len(m.retained) {
+		m.retained[(m.head+m.count)%len(m.retained)] = id
+		m.count++
+	} else {
+		delete(m.byID, m.retained[m.head])
+		m.retained[m.head] = id
+		m.head = (m.head + 1) % len(m.retained)
+	}
+	m.byID[id] = e
+}
+
+// get returns a copy of the entry (callers mutate via put, never in
+// place — the map stays free of data races without exposing its lock).
+func (m *jobMap) get(id string) (jobEntry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.byID[id]
+	if !ok {
+		return jobEntry{}, false
+	}
+	return *e, true
+}
+
+// gatewayJobID builds the client-visible id: "<backend>.<upstream>".
+// The prefix makes resolution stateless — any gateway instance can
+// route a poll for an id it has never seen.
+func gatewayJobID(backend, upstream string) string { return backend + "." + upstream }
+
+// splitJobID parses a gateway job id back into its mint-time backend
+// and upstream id. ok is false for ids without the "<backend>." shape.
+func splitJobID(id string) (backend, upstream string, ok bool) {
+	i := strings.IndexByte(id, '.')
+	if i <= 0 || i == len(id)-1 {
+		return "", "", false
+	}
+	return id[:i], id[i+1:], true
+}

@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// RetryPolicy decides whether and when a failed upstream call is tried
+// again. Three failure classes exist, and they retry differently:
+//
+//   - 429/503 responses: the backend rejected the request before
+//     accepting any work, so retrying is always safe — idempotent or
+//     not. When the response carries an integer Retry-After (the solve
+//     service computes one from its observed drain rate, see
+//     internal/service), the policy honors it exactly; otherwise it
+//     backs off exponentially with bounded jitter.
+//   - transport errors (connect refused, reset, timeout): ambiguous —
+//     the request may or may not have reached the backend. Only
+//     idempotent calls retry. The gateway marks GET polls idempotent by
+//     nature and POST /v1/solve idempotent *because of the spec-hash
+//     dedupe guarantee*: re-posting an identical spec either coalesces
+//     onto the in-flight job or hits the result cache, so a duplicate
+//     delivery cannot run a second solve or fork state. A POST without
+//     that guarantee must pass idempotent=false and will not retry
+//     after an ambiguous failure.
+//   - anything else (2xx, 4xx, 5xx): returned to the caller as is.
+//
+// Every wait is charged against Budget; when the next wait would
+// overrun it, the policy stops and returns the last outcome.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries including the first (default 3).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 100ms); attempt
+	// i waits BaseDelay·2^(i-1), capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps any single wait (default 5s).
+	MaxDelay time.Duration
+	// Budget caps the sum of all waits for one logical request
+	// (default 15s). Retry-After waits are charged against it too: a
+	// backend asking for more patience than the budget allows ends the
+	// retry loop instead of blocking the caller.
+	Budget time.Duration
+	// Jitter widens each backoff wait by a uniform factor in
+	// [1, 1+Jitter) (default 0.2). Retry-After waits are never
+	// jittered — the backend computed that number deliberately.
+	Jitter float64
+
+	// sleep and uniform are injected by tests (fake clock, fixed
+	// randomness); nil selects the real implementations.
+	sleep   func(ctx context.Context, d time.Duration) error
+	uniform func() float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	if p.Budget <= 0 {
+		p.Budget = 15 * time.Second
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.sleep == nil {
+		p.sleep = sleepCtx
+	}
+	if p.uniform == nil {
+		p.uniform = globalUniform
+	}
+	return p
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// globalUniform draws from a locked shared source; the jitter stream
+// needs no reproducibility, only bounded spread.
+var (
+	uniformMu sync.Mutex
+	uniformRd = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+func globalUniform() float64 {
+	uniformMu.Lock()
+	defer uniformMu.Unlock()
+	return uniformRd.Float64()
+}
+
+// Attempt is one upstream try. The int is the zero-based attempt
+// number. Implementations must return either a response or an error.
+type Attempt func(try int) (*http.Response, error)
+
+// retryableStatus reports whether the response status is a clean
+// backpressure rejection (safe to retry regardless of idempotency).
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// retryAfter extracts an integer Retry-After in seconds; ok is false
+// when absent or malformed (HTTP-date forms are deliberately not
+// parsed — the solve service always sends integer seconds).
+func retryAfter(resp *http.Response) (time.Duration, bool) {
+	raw := resp.Header.Get("Retry-After")
+	if raw == "" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return time.Duration(n) * time.Second, true
+}
+
+// Do runs the attempt under the policy. retries reports how many
+// re-tries were made (0 = first attempt settled it). The final
+// response (or error) is returned even when retries are exhausted, so
+// the caller can forward the backend's last word verbatim.
+func (p RetryPolicy) Do(ctx context.Context, idempotent bool, attempt Attempt) (resp *http.Response, retries int, err error) {
+	p = p.withDefaults()
+	var spent time.Duration
+	for try := 0; ; try++ {
+		resp, err = attempt(try)
+		if try+1 >= p.MaxAttempts {
+			return resp, try, err
+		}
+		var wait time.Duration
+		switch {
+		case err != nil:
+			if !idempotent || ctx.Err() != nil {
+				// Ambiguous failure on a non-idempotent call, or the caller
+				// is gone: the last error stands.
+				return resp, try, err
+			}
+			wait = p.backoff(try)
+		case retryableStatus(resp.StatusCode):
+			if ra, ok := retryAfter(resp); ok {
+				wait = ra
+			} else {
+				wait = p.backoff(try)
+			}
+		default:
+			return resp, try, nil
+		}
+		if spent+wait > p.Budget {
+			return resp, try, err
+		}
+		if resp != nil {
+			// The rejected response is replaced by the retry's; release
+			// its connection back to the pool first.
+			drainBody(resp)
+		}
+		spent += wait
+		if serr := p.sleep(ctx, wait); serr != nil {
+			return nil, try, serr
+		}
+		retries = try + 1
+	}
+}
+
+// backoff computes the jittered exponential wait before retrying
+// attempt try (zero-based): BaseDelay·2^try capped at MaxDelay, then
+// widened by a uniform factor in [1, 1+Jitter).
+func (p RetryPolicy) backoff(try int) time.Duration {
+	d := p.BaseDelay
+	for i := 0; i < try && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 {
+		d = time.Duration(float64(d) * (1 + p.Jitter*p.uniform()))
+		if d > p.MaxDelay {
+			d = p.MaxDelay
+		}
+	}
+	return d
+}

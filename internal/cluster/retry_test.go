@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock records every wait the policy asks for without sleeping —
+// no real time passes in any of these tests.
+type fakeClock struct {
+	waits []time.Duration
+}
+
+func (c *fakeClock) sleep(_ context.Context, d time.Duration) error {
+	c.waits = append(c.waits, d)
+	return nil
+}
+
+func testPolicy(c *fakeClock, uniform float64, p RetryPolicy) RetryPolicy {
+	p.sleep = c.sleep
+	p.uniform = func() float64 { return uniform }
+	return p
+}
+
+func respWith(code int, retryAfter string) *http.Response {
+	h := http.Header{}
+	if retryAfter != "" {
+		h.Set("Retry-After", retryAfter)
+	}
+	return &http.Response{StatusCode: code, Header: h, Body: io.NopCloser(strings.NewReader("{}"))}
+}
+
+// TestRetryHonorsRetryAfterExactly: a 429 carrying an integer
+// Retry-After waits exactly that long — no jitter, no exponential
+// shaping — before the retry.
+func TestRetryHonorsRetryAfterExactly(t *testing.T) {
+	clock := &fakeClock{}
+	p := testPolicy(clock, 0.999, RetryPolicy{MaxAttempts: 3, Jitter: 0.5})
+	calls := 0
+	resp, retries, err := p.Do(context.Background(), false, func(try int) (*http.Response, error) {
+		calls++
+		if try == 0 {
+			return respWith(429, "3"), nil
+		}
+		return respWith(200, ""), nil
+	})
+	if err != nil || resp.StatusCode != 200 || calls != 2 || retries != 1 {
+		t.Fatalf("resp=%v calls=%d retries=%d err=%v", resp, calls, retries, err)
+	}
+	if len(clock.waits) != 1 || clock.waits[0] != 3*time.Second {
+		t.Fatalf("waits = %v, want exactly [3s] (Retry-After must not be jittered)", clock.waits)
+	}
+}
+
+// TestRetryAttemptCap: persistent 429s stop at MaxAttempts and the
+// last rejection is returned verbatim for passthrough.
+func TestRetryAttemptCap(t *testing.T) {
+	clock := &fakeClock{}
+	p := testPolicy(clock, 0, RetryPolicy{MaxAttempts: 4})
+	calls := 0
+	resp, retries, err := p.Do(context.Background(), true, func(int) (*http.Response, error) {
+		calls++
+		return respWith(429, "1"), nil
+	})
+	if err != nil || calls != 4 || retries != 3 {
+		t.Fatalf("calls=%d retries=%d err=%v", calls, retries, err)
+	}
+	if resp.StatusCode != 429 {
+		t.Fatalf("final response %d, want the last 429 passed through", resp.StatusCode)
+	}
+}
+
+// TestRetryBudgetCapsTotalWait: a Retry-After larger than the
+// remaining budget ends the loop instead of blocking the caller.
+func TestRetryBudgetCapsTotalWait(t *testing.T) {
+	clock := &fakeClock{}
+	p := testPolicy(clock, 0, RetryPolicy{MaxAttempts: 10, Budget: 5 * time.Second})
+	calls := 0
+	resp, _, _ := p.Do(context.Background(), true, func(int) (*http.Response, error) {
+		calls++
+		return respWith(503, "60"), nil
+	})
+	if calls != 1 || len(clock.waits) != 0 {
+		t.Fatalf("calls=%d waits=%v: a 60s Retry-After must not fit a 5s budget", calls, clock.waits)
+	}
+	if resp.StatusCode != 503 {
+		t.Fatalf("final response %d, want 503", resp.StatusCode)
+	}
+
+	// Cumulative charging: 3s waits fit a 5s budget once, not twice.
+	clock.waits = nil
+	calls = 0
+	_, retries, _ := p.Do(context.Background(), true, func(int) (*http.Response, error) {
+		calls++
+		return respWith(503, "3"), nil
+	})
+	if calls != 2 || retries != 1 || len(clock.waits) != 1 {
+		t.Fatalf("calls=%d retries=%d waits=%v, want one 3s retry then budget exhaustion", calls, retries, clock.waits)
+	}
+}
+
+// TestRetryNonIdempotentAmbiguousFailure: a transport error (the
+// request may have reached the backend) must not be retried without
+// the spec-hash dedupe guarantee — but a clean 429 rejection, which
+// provably accepted no work, retries for any request.
+func TestRetryNonIdempotentAmbiguousFailure(t *testing.T) {
+	clock := &fakeClock{}
+	p := testPolicy(clock, 0, RetryPolicy{MaxAttempts: 5})
+
+	calls := 0
+	boom := errors.New("connection reset mid-request")
+	_, retries, err := p.Do(context.Background(), false, func(int) (*http.Response, error) {
+		calls++
+		return nil, boom
+	})
+	if calls != 1 || retries != 0 || !errors.Is(err, boom) {
+		t.Fatalf("non-idempotent ambiguous failure: calls=%d retries=%d err=%v, want a single attempt", calls, retries, err)
+	}
+
+	// Same error, idempotent=true (the gateway's dedupe guarantee): retries.
+	calls = 0
+	_, retries, _ = p.Do(context.Background(), true, func(try int) (*http.Response, error) {
+		calls++
+		if try < 2 {
+			return nil, boom
+		}
+		return respWith(200, ""), nil
+	})
+	if calls != 3 || retries != 2 {
+		t.Fatalf("idempotent transport failure: calls=%d retries=%d, want 3 attempts", calls, retries)
+	}
+}
+
+// TestRetryBackoffBoundedJitter: without Retry-After the wait for
+// attempt i is BaseDelay·2^i widened by a factor in [1, 1+Jitter),
+// capped at MaxDelay — never below the base curve, never above the
+// jittered ceiling.
+func TestRetryBackoffBoundedJitter(t *testing.T) {
+	base := 100 * time.Millisecond
+	for _, uniform := range []float64{0, 0.25, 0.5, 0.999} {
+		clock := &fakeClock{}
+		p := testPolicy(clock, uniform, RetryPolicy{
+			MaxAttempts: 4, BaseDelay: base, MaxDelay: time.Hour, Jitter: 0.2, Budget: time.Hour,
+		})
+		_, _, _ = p.Do(context.Background(), true, func(int) (*http.Response, error) {
+			return respWith(503, ""), nil
+		})
+		if len(clock.waits) != 3 {
+			t.Fatalf("uniform=%v: %d waits, want 3", uniform, len(clock.waits))
+		}
+		for i, w := range clock.waits {
+			lo := base << i
+			hi := time.Duration(float64(lo) * 1.2)
+			if w < lo || w > hi {
+				t.Errorf("uniform=%v wait[%d] = %v outside [%v, %v]", uniform, i, w, lo, hi)
+			}
+		}
+	}
+
+	// MaxDelay caps the exponential curve.
+	clock := &fakeClock{}
+	p := testPolicy(clock, 0.999, RetryPolicy{
+		MaxAttempts: 6, BaseDelay: base, MaxDelay: 250 * time.Millisecond, Jitter: 0.5, Budget: time.Hour,
+	})
+	_, _, _ = p.Do(context.Background(), true, func(int) (*http.Response, error) {
+		return respWith(503, ""), nil
+	})
+	for i, w := range clock.waits {
+		if w > 250*time.Millisecond {
+			t.Errorf("wait[%d] = %v exceeds MaxDelay", i, w)
+		}
+	}
+}
+
+// TestRetryMalformedRetryAfterFallsBack: non-integer Retry-After
+// values are ignored in favor of the backoff curve.
+func TestRetryMalformedRetryAfterFallsBack(t *testing.T) {
+	clock := &fakeClock{}
+	p := testPolicy(clock, 0, RetryPolicy{MaxAttempts: 2, BaseDelay: 50 * time.Millisecond})
+	_, _, _ = p.Do(context.Background(), true, func(int) (*http.Response, error) {
+		return respWith(429, "Wed, 21 Oct 2015 07:28:00 GMT"), nil
+	})
+	if len(clock.waits) != 1 || clock.waits[0] != 50*time.Millisecond {
+		t.Fatalf("waits = %v, want the 50ms backoff fallback", clock.waits)
+	}
+}
+
+// TestRetryContextCancelled: a cancelled caller stops the loop even on
+// an otherwise retryable failure.
+func TestRetryContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	clock := &fakeClock{}
+	p := testPolicy(clock, 0, RetryPolicy{MaxAttempts: 5})
+	calls := 0
+	_, _, err := p.Do(ctx, true, func(int) (*http.Response, error) {
+		calls++
+		return nil, errors.New("dial refused")
+	})
+	if calls != 1 || err == nil {
+		t.Fatalf("calls=%d err=%v, want one attempt then stop on dead context", calls, err)
+	}
+}

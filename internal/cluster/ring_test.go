@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("n%d", i+1)
+	}
+	return ids
+}
+
+func mapKeys(r *Ring, k int) map[string]string {
+	owners := make(map[string]string, k)
+	for i := 0; i < k; i++ {
+		key := fmt.Sprintf("spec-%08d", i)
+		owner, ok := r.Lookup(key)
+		if !ok {
+			panic("lookup failed on a fully live ring")
+		}
+		owners[key] = owner
+	}
+	return owners
+}
+
+// TestRingBalance checks load distribution across 1–16 backends: with
+// the default virtual-node count every backend's share of 10k keys
+// stays within a constant factor of the mean. Placement is
+// deterministic for a fixed seed, so these bounds are exact regression
+// assertions, not flaky statistics.
+func TestRingBalance(t *testing.T) {
+	const keys = 10000
+	for _, n := range []int{1, 2, 3, 4, 8, 16} {
+		t.Run(fmt.Sprintf("backends=%d", n), func(t *testing.T) {
+			r := NewRing(42, 0, ringIDs(n))
+			counts := map[string]int{}
+			for _, owner := range mapKeys(r, keys) {
+				counts[owner]++
+			}
+			if len(counts) != n {
+				t.Fatalf("only %d of %d backends received keys", len(counts), n)
+			}
+			mean := float64(keys) / float64(n)
+			for id, c := range counts {
+				if ratio := float64(c) / mean; ratio < 0.5 || ratio > 1.6 {
+					t.Errorf("backend %s holds %d keys (%.2f× the mean %g)", id, c, ratio, mean)
+				}
+			}
+		})
+	}
+}
+
+// TestRingRemoveChurn checks the consistent-hashing contract on
+// member removal: exactly the removed backend's keys move (≈K/n, and
+// never more than a 2×K/n slack bound), and every other key keeps its
+// owner.
+func TestRingRemoveChurn(t *testing.T) {
+	const keys = 10000
+	for _, n := range []int{2, 4, 8, 16} {
+		t.Run(fmt.Sprintf("backends=%d", n), func(t *testing.T) {
+			r := NewRing(7, 0, ringIDs(n))
+			before := mapKeys(r, keys)
+			victim := "n1"
+			r.Remove(victim)
+			after := mapKeys(r, keys)
+			moved := 0
+			for key, owner := range before {
+				switch {
+				case owner == victim:
+					moved++
+					if after[key] == victim {
+						t.Fatalf("key %s still maps to removed backend", key)
+					}
+				case after[key] != owner:
+					t.Fatalf("key %s moved from surviving %s to %s on removal of %s",
+						key, owner, after[key], victim)
+				}
+			}
+			if bound := 2 * keys / n; moved > bound {
+				t.Errorf("removal moved %d keys, want ≤ %d (2×K/n)", moved, bound)
+			}
+			if moved == 0 {
+				t.Error("removal moved no keys; victim held nothing")
+			}
+		})
+	}
+}
+
+// TestRingAddChurn checks the dual contract on member addition: moved
+// keys all land on the new backend, bounded by 2×K/(n+1).
+func TestRingAddChurn(t *testing.T) {
+	const keys = 10000
+	for _, n := range []int{1, 2, 4, 8, 15} {
+		t.Run(fmt.Sprintf("backends=%d", n), func(t *testing.T) {
+			r := NewRing(7, 0, ringIDs(n))
+			before := mapKeys(r, keys)
+			newcomer := fmt.Sprintf("n%d", n+1)
+			r.Add(newcomer)
+			after := mapKeys(r, keys)
+			moved := 0
+			for key, owner := range before {
+				if after[key] != owner {
+					moved++
+					if after[key] != newcomer {
+						t.Fatalf("key %s moved %s → %s, but only moves onto the new backend %s are allowed",
+							key, owner, after[key], newcomer)
+					}
+				}
+			}
+			if bound := 2 * keys / (n + 1); moved > bound {
+				t.Errorf("addition moved %d keys, want ≤ %d (2×K/(n+1))", moved, bound)
+			}
+		})
+	}
+}
+
+// TestRingDeterministicPlacement: same (seed, members, vnodes) → the
+// same owner for every key, across independently built rings and
+// shuffled member order. A different seed produces a different map.
+func TestRingDeterministicPlacement(t *testing.T) {
+	a := NewRing(99, 64, []string{"alpha", "beta", "gamma", "delta"})
+	b := NewRing(99, 64, []string{"delta", "beta", "alpha", "gamma"}) // order must not matter
+	diffSeed := NewRing(100, 64, []string{"alpha", "beta", "gamma", "delta"})
+	differs := false
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		oa, _ := a.Lookup(key)
+		ob, _ := b.Lookup(key)
+		if oa != ob {
+			t.Fatalf("key %s: ring a → %s, ring b → %s (same seed must agree)", key, oa, ob)
+		}
+		if od, _ := diffSeed.Lookup(key); od != oa {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("seeds 99 and 100 produced identical placement for 2000 keys")
+	}
+}
+
+// TestRingEjection: ejected backends never serve lookups, re-admission
+// restores the exact pre-ejection placement, and a fully ejected ring
+// reports unroutable instead of panicking.
+func TestRingEjection(t *testing.T) {
+	r := NewRing(1, 0, ringIDs(3))
+	before := mapKeys(r, 2000)
+	r.SetEjected("n2", true)
+	for key := range before {
+		owner, ok := r.Lookup(key)
+		if !ok || owner == "n2" {
+			t.Fatalf("key %s: owner %q ok=%v with n2 ejected", key, owner, ok)
+		}
+		for _, s := range r.Successors(key, 3) {
+			if s == "n2" {
+				t.Fatalf("Successors(%s) includes ejected n2", key)
+			}
+		}
+	}
+	r.SetEjected("n2", false)
+	for key, owner := range mapKeys(r, 2000) {
+		if before[key] != owner {
+			t.Fatalf("key %s: owner %s after re-admission, want original %s", key, owner, before[key])
+		}
+	}
+	r.SetEjected("n1", true)
+	r.SetEjected("n2", true)
+	r.SetEjected("n3", true)
+	if owner, ok := r.Lookup("anything"); ok {
+		t.Fatalf("fully ejected ring returned owner %q", owner)
+	}
+}
+
+// TestRingSuccessorsDistinct: successors are distinct live backends in
+// ring order, truncated at membership size.
+func TestRingSuccessorsDistinct(t *testing.T) {
+	r := NewRing(5, 0, ringIDs(4))
+	s := r.Successors("some-spec-hash", 10)
+	if len(s) != 4 {
+		t.Fatalf("got %d successors, want 4", len(s))
+	}
+	seen := map[string]bool{}
+	for _, id := range s {
+		if seen[id] {
+			t.Fatalf("duplicate successor %s in %v", id, s)
+		}
+		seen[id] = true
+	}
+	if got, _ := r.Lookup("some-spec-hash"); got != s[0] {
+		t.Fatalf("Lookup %s != Successors[0] %s", got, s[0])
+	}
+}
+
+// FuzzRingLookup: under arbitrary keys, membership sizes, and ejection
+// subsets, lookup never panics and never returns an ejected backend;
+// ok is false exactly when no live backend exists.
+func FuzzRingLookup(f *testing.F) {
+	f.Add("spec-hash", uint8(3), uint8(0b101), uint64(42))
+	f.Add("", uint8(1), uint8(0b1), uint64(0))
+	f.Add("k", uint8(16), uint8(0xFF), uint64(1))
+	f.Fuzz(func(t *testing.T, key string, n, ejectMask uint8, seed uint64) {
+		members := int(n%16) + 1
+		r := NewRing(seed, int(seed%8), ringIDs(members)) // vnodes 0..7 exercises the default too
+		live := 0
+		for i := 0; i < members; i++ {
+			if ejectMask&(1<<(i%8)) != 0 {
+				r.SetEjected(fmt.Sprintf("n%d", i+1), true)
+			} else {
+				live++
+			}
+		}
+		owner, ok := r.Lookup(key)
+		if ok != (live > 0) {
+			t.Fatalf("ok=%v with %d live backends", ok, live)
+		}
+		if ok && r.Ejected(owner) {
+			t.Fatalf("lookup returned ejected backend %s", owner)
+		}
+		if got := len(r.Successors(key, members)); got != live {
+			t.Fatalf("Successors returned %d backends, want the %d live ones", got, live)
+		}
+	})
+}

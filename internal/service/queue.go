@@ -137,6 +137,15 @@ func (q *jobQueue) Commit(j *job) error {
 // Depth returns how many accepted jobs are waiting for an executor.
 func (q *jobQueue) Depth() int { return len(q.ch) }
 
+// Draining reports whether graceful shutdown has begun (new work is
+// being rejected with ErrDraining). Health checks surface this so a
+// cluster gateway can eject the backend before its 503s pile up.
+func (q *jobQueue) Draining() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.settled != nil
+}
+
 // Load returns occupied plus reserved slots — the admission-control view
 // of queue pressure.
 func (q *jobQueue) Load() int {

@@ -912,9 +912,22 @@ func (s *Server) handleProblems(w http.ResponseWriter, _ *http.Request) {
 	_, _ = w.Write(s.problemsJSON)
 }
 
+// handleHealth reports liveness plus the intake state a cluster
+// gateway's health checker keys on: "draining" means the process is
+// alive but rejecting new work (graceful shutdown), so the gateway
+// ejects it from the ring before clients see 503s. The response stays
+// a plain 200 with "status":"ok" in both states — existing CI smokes
+// and load balancers that only look for liveness keep working.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	state := "ok"
+	if s.queue.Draining() {
+		state = "draining"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":      "ok",
+		"state":       state,
+		"queued":      s.queue.Depth(),
+		"executing":   int(s.solvesRunning.Value()),
 		"queue_depth": s.queue.Depth(),
 	})
 }

@@ -370,10 +370,34 @@ func TestProblemsListing(t *testing.T) {
 }
 
 func TestHealthz(t *testing.T) {
-	_, ts := newTestServer(t, Config{Solve: stubSolve(nil)})
+	s, ts := newTestServer(t, Config{Solve: stubSolve(nil)})
 	raw := getBody(t, ts.URL+"/healthz")
+	// Legacy liveness shape first: CI smokes grep "status":"ok".
 	if !strings.Contains(raw, `"status":"ok"`) {
 		t.Errorf("healthz body: %s", raw)
+	}
+	var view struct {
+		Status    string `json:"status"`
+		State     string `json:"state"`
+		Queued    int    `json:"queued"`
+		Executing int    `json:"executing"`
+	}
+	if err := json.Unmarshal([]byte(raw), &view); err != nil {
+		t.Fatalf("healthz not JSON: %s", raw)
+	}
+	if view.State != "ok" || view.Queued != 0 || view.Executing != 0 {
+		t.Errorf("healthz view = %+v, want state ok with zero occupancy", view)
+	}
+
+	// Draining flips state but keeps the 200/"status":"ok" liveness shape.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	raw = getBody(t, ts.URL+"/healthz")
+	if !strings.Contains(raw, `"status":"ok"`) || !strings.Contains(raw, `"state":"draining"`) {
+		t.Errorf("draining healthz body: %s", raw)
 	}
 }
 
